@@ -1,0 +1,195 @@
+// Command dps-bench regenerates every table and figure of the paper's
+// evaluation (§5.1–§5.2). With no flags it runs everything at paper scale;
+// -experiment selects one artefact and -scale shrinks the populations and
+// durations proportionally for quick runs.
+//
+//	dps-bench -experiment table1
+//	dps-bench -experiment fig3a -scale 0.2
+//	dps-bench -experiment all -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dps-overlay/dps/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all",
+			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, all")
+		scale = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+	if *scale <= 0 || *scale > 10 {
+		fmt.Fprintln(os.Stderr, "dps-bench: -scale must be in (0, 10]")
+		return 2
+	}
+	want := strings.ToLower(*experiment)
+	ran := false
+	for _, exp := range registry() {
+		if want != "all" && want != exp.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		out, err := exp.run(*seed, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dps-bench: %s: %v\n", exp.name, err)
+			return 1
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %v]\n\n", exp.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "dps-bench: unknown experiment %q\n", want)
+		return 2
+	}
+	return 0
+}
+
+type experimentEntry struct {
+	name string
+	run  func(seed int64, scale float64) (string, error)
+}
+
+func registry() []experimentEntry {
+	return []experimentEntry{
+		{"table1", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultTable1Options()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
+			opts.Events = scaleInt(opts.Events, scale, 50)
+			res, err := experiments.RunTable1(opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"table1-protocol", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultTable1Options()
+			opts.Seed = seed
+			opts.UseProtocol = true
+			// The message-level run is far heavier than the oracle walk;
+			// default to a tenth of paper scale at scale 1.
+			opts.Nodes = scaleInt(opts.Nodes, scale*0.1, 50)
+			opts.Events = scaleInt(opts.Events, scale*0.1, 50)
+			res, err := experiments.RunTable1(opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"fig3a", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultFig3aOptions()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 40)
+			opts.Steps = scaleInt(opts.Steps, scale, 400)
+			res, err := experiments.RunFig3a(opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"fig3b", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultFig3bOptions()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 40)
+			opts.Steps = scaleInt(opts.Steps, scale, 600)
+			opts.FailFrom = opts.Steps / 3
+			opts.FailTo = 2 * opts.Steps / 3
+			res, err := experiments.RunFig3b(opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"fig3c", runFig3cd}, {"fig3d", runFig3cd},
+		{"fig3e", runFig3ef}, {"fig3f", runFig3ef},
+		{"fig3g", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultFig3gOptions()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 40)
+			opts.Steps = scaleInt(opts.Steps, scale, 300)
+			opts.SubEvery = scaleInt(opts.SubEvery, scale, 50)
+			res, err := experiments.RunLoadComparison(
+				"Figure 3(g) — Root-based vs generic traversal (leader communication)", opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"latency", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultLatencyOptions()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 60)
+			opts.Events = scaleInt(opts.Events, scale, 40)
+			res, err := experiments.RunLatency(opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"ablations", func(seed int64, scale float64) (string, error) {
+			opts := experiments.DefaultAblationOptions()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 60)
+			opts.Steps = scaleInt(opts.Steps, scale, 300)
+			res, err := experiments.RunAblations(opts)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"analysis", func(seed int64, scale float64) (string, error) {
+			res, err := experiments.RunAnalysis(experiments.DefaultAnalysisOptions())
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+	}
+}
+
+func runFig3cd(seed int64, scale float64) (string, error) {
+	opts := experiments.DefaultFig3cdOptions()
+	opts.Seed = seed
+	opts.Nodes = scaleInt(opts.Nodes, scale, 40)
+	opts.Steps = scaleInt(opts.Steps, scale, 500)
+	res, err := experiments.RunFig3cd(opts)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+func runFig3ef(seed int64, scale float64) (string, error) {
+	opts := experiments.DefaultFig3efOptions()
+	opts.Seed = seed
+	opts.Nodes = scaleInt(opts.Nodes, scale, 40)
+	opts.Steps = scaleInt(opts.Steps, scale, 300)
+	opts.SubEvery = scaleInt(opts.SubEvery, scale, 50)
+	res, err := experiments.RunLoadComparison(
+		"Figures 3(e)/(f) — Leader vs epidemic communication (root traversal)", opts)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+func scaleInt(v int, scale float64, floor int) int {
+	out := int(float64(v) * scale)
+	if out < floor {
+		out = floor
+	}
+	return out
+}

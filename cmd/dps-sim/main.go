@@ -1,0 +1,125 @@
+// Command dps-sim runs one DPS scenario on the deterministic cycle
+// simulator with every protocol knob exposed, printing the delivery ratio
+// and traffic summary. It is the exploration companion to dps-bench's
+// fixed paper experiments.
+//
+//	dps-sim -nodes 500 -steps 2000 -traversal generic -comm epidemic \
+//	        -fanout 2 -workload game -failure 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/experiments"
+	"github.com/dps-overlay/dps/internal/metrics"
+	"github.com/dps-overlay/dps/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		nodes       = flag.Int("nodes", 500, "number of nodes")
+		subs        = flag.Int("subs", 1, "subscriptions per node")
+		steps       = flag.Int("steps", 2000, "measured steps after the overlay forms")
+		eventEvery  = flag.Int("event-every", 10, "publish one event every N steps")
+		traversal   = flag.String("traversal", "root", "tree traversal: root | generic")
+		comm        = flag.String("comm", "leader", "group communication: leader | epidemic")
+		fanout      = flag.Int("fanout", 1, "epidemic in-group fanout k")
+		crossFanout = flag.Int("cross-fanout", 1, "epidemic next-level contacts k'")
+		wl          = flag.String("workload", "game", "workload: stock | game | alerts")
+		failure     = flag.Float64("failure", 0, "node kills per step (0 disables churn)")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	spec, err := workloadSpec(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dps-sim:", err)
+		return 2
+	}
+	cfgSpec := experiments.ConfigSpec{
+		Name:        *traversal + "-" + *comm,
+		Fanout:      *fanout,
+		CrossFanout: *crossFanout,
+	}
+	switch *traversal {
+	case "root":
+		cfgSpec.Traversal = core.RootBased
+	case "generic":
+		cfgSpec.Traversal = core.Generic
+	default:
+		fmt.Fprintf(os.Stderr, "dps-sim: unknown traversal %q\n", *traversal)
+		return 2
+	}
+	switch *comm {
+	case "leader":
+		cfgSpec.Comm = core.LeaderBased
+	case "epidemic":
+		cfgSpec.Comm = core.Epidemic
+	default:
+		fmt.Fprintf(os.Stderr, "dps-sim: unknown communication mode %q\n", *comm)
+		return 2
+	}
+
+	c := experiments.NewCluster(cfgSpec, *seed)
+	gen := workload.MustGenerator(spec, *seed)
+	fmt.Printf("building overlay: %d nodes × %d subscriptions (%s)\n", *nodes, *subs, spec.Name)
+	c.SubscribePopulation(*nodes, *subs, 25, gen)
+	fmt.Printf("forest: %d trees, %d groups\n", c.Oracle.Trees(), c.Oracle.Groups())
+
+	rng := rand.New(rand.NewSource(*seed ^ 0x51e))
+	killEvery := 0
+	if *failure > 0 {
+		killEvery = int(1 / *failure)
+		if killEvery < 1 {
+			killEvery = 1
+		}
+	}
+	snap := c.Registry.Snapshot()
+	events := 0
+	for step := 1; step <= *steps; step++ {
+		if step%*eventEvery == 0 {
+			c.PublishTracked(gen.Event(), rng.Int63())
+			events++
+		}
+		if killEvery > 0 && step%killEvery == 0 && c.Engine.AliveCount() > 2 {
+			c.KillRandomAlive(rng.Int63())
+		}
+		c.Engine.Step()
+	}
+	c.Engine.Run(80)
+
+	deltas := c.Registry.DeltaSince(snap)
+	ids := c.AliveInt64s()
+	outs := metrics.Collect(ids, deltas, metrics.Counts.OutTotal)
+	ins := metrics.Collect(ids, deltas, metrics.Counts.InTotal)
+	fmt.Printf("\nconfig            %s\n", cfgSpec.Name)
+	fmt.Printf("events published  %d\n", events)
+	fmt.Printf("delivery ratio    %.4f\n", c.Tracker.Ratio())
+	fmt.Printf("survivors         %d / %d\n", c.Engine.AliveCount(), *nodes)
+	fmt.Printf("msgs out          median %.1f   max %d   (per node, whole run)\n",
+		metrics.Median(outs), metrics.Max(outs))
+	fmt.Printf("msgs in           median %.1f   max %d\n",
+		metrics.Median(ins), metrics.Max(ins))
+	return 0
+}
+
+func workloadSpec(name string) (workload.Spec, error) {
+	switch name {
+	case "stock":
+		return workload.Workload1(), nil
+	case "game":
+		return workload.Workload2(), nil
+	case "alerts":
+		return workload.Workload3(), nil
+	default:
+		return workload.Spec{}, fmt.Errorf("unknown workload %q (stock | game | alerts)", name)
+	}
+}

@@ -1,0 +1,109 @@
+// Alerts: the paper's Workload-3 scenario — fleet monitoring where
+// operators watch critical thresholds (high CPU, low disk, error codes)
+// and almost all telemetry is filtered out inside the overlay before it
+// reaches anyone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	dps "github.com/dps-overlay/dps"
+)
+
+func main() {
+	net, err := dps.NewNetwork(dps.Options{TickEvery: time.Millisecond, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	// Three operator teams with escalating thresholds.
+	type team struct {
+		name string
+		subs []string
+	}
+	teams := []team{
+		{"oncall", []string{"cpu>90", "disk<5"}},
+		{"capacity", []string{"cpu>75 && cpu<95", "mem>80"}},
+		{"security", []string{`unit="auth"* && err>400`}},
+	}
+	var mu sync.Mutex
+	alerts := map[string][]string{}
+	for _, tm := range teams {
+		peer, err := net.AddPeer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := tm.name
+		for _, text := range tm.subs {
+			sub, err := dps.ParseSubscription(text)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := peer.Subscribe(sub, func(ev dps.Event) {
+				mu.Lock()
+				alerts[name] = append(alerts[name], ev.String())
+				mu.Unlock()
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fleet, err := net.AddPeer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// 500 telemetry samples; healthy machines dominate, so almost every
+	// sample is pruned inside the overlay.
+	rng := rand.New(rand.NewSource(9))
+	units := []string{"auth-gw", "auth-db", "web", "batch"}
+	published := 0
+	for i := 0; i < 500; i++ {
+		cpu := int64(rng.Intn(70)) // healthy baseline
+		if rng.Intn(20) == 0 {
+			cpu = 75 + int64(rng.Intn(25)) // occasional hot machine
+		}
+		errCode := int64(200)
+		if rng.Intn(25) == 0 {
+			errCode = 400 + int64(rng.Intn(100))
+		}
+		ev, err := dps.NewEvent(
+			dps.Assignment{Attr: "cpu", Val: dps.IntValue(cpu)},
+			dps.Assignment{Attr: "mem", Val: dps.IntValue(int64(rng.Intn(100)))},
+			dps.Assignment{Attr: "disk", Val: dps.IntValue(int64(1 + rng.Intn(100)))},
+			dps.Assignment{Attr: "err", Val: dps.IntValue(errCode)},
+			dps.Assignment{Attr: "unit", Val: dps.StringValue(units[rng.Intn(len(units))])},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fleet.Publish(ev); err != nil {
+			log.Fatal(err)
+		}
+		published++
+		time.Sleep(time.Millisecond / 2)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("%d telemetry samples published\n", published)
+	for _, tm := range teams {
+		got := alerts[tm.name]
+		fmt.Printf("%-9s %3d alerts (watching: %v)\n", tm.name, len(got), tm.subs)
+		for i, a := range got {
+			if i == 3 {
+				fmt.Printf("          … %d more\n", len(got)-3)
+				break
+			}
+			fmt.Printf("          %s\n", a)
+		}
+	}
+}

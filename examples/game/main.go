@@ -1,0 +1,110 @@
+// Game: the paper's Workload-2 scenario — players on a 2-D plane subscribe
+// to the map zone they can see; movement events reach exactly the players
+// whose zone contains them. Zones snap to a grid, so players watching the
+// same area share one semantic group (populous groups are what make the
+// leader/epidemic trade-offs of the paper visible).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	dps "github.com/dps-overlay/dps"
+)
+
+const (
+	worldSize = 1000
+	zoneGrid  = 100 // zone corners snap to this grid
+	players   = 24
+)
+
+type player struct {
+	name string
+	peer *dps.Peer
+	zone [4]int64 // x0, x1, y0, y1
+
+	mu   sync.Mutex
+	seen int
+}
+
+func main() {
+	net, err := dps.NewNetwork(dps.Options{
+		TickEvery: time.Millisecond,
+		Comm:      dps.Epidemic, // gossip suits game-scale churn
+		Fanout:    2,
+		Seed:      11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	ps := make([]*player, 0, players)
+	for i := 0; i < players; i++ {
+		peer, err := net.AddPeer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A zone is a grid-snapped rectangle roughly half the world wide.
+		x0 := int64(rng.Intn(worldSize/2/zoneGrid)) * zoneGrid
+		y0 := int64(rng.Intn(worldSize/2/zoneGrid)) * zoneGrid
+		p := &player{
+			name: fmt.Sprintf("player-%02d", i),
+			peer: peer,
+			zone: [4]int64{x0, x0 + worldSize/2, y0, y0 + worldSize/2},
+		}
+		sub, err := dps.NewSubscription(
+			dps.Gt("x", p.zone[0]-1), dps.Lt("x", p.zone[1]),
+			dps.Gt("y", p.zone[2]-1), dps.Lt("y", p.zone[3]),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pp := p
+		if err := peer.Subscribe(sub, func(ev dps.Event) {
+			pp.mu.Lock()
+			pp.seen++
+			pp.mu.Unlock()
+		}); err != nil {
+			log.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	// One movement source publishes position updates all over the map.
+	source := ps[0].peer
+	const moves = 300
+	for i := 0; i < moves; i++ {
+		ev, err := dps.NewEvent(
+			dps.Assignment{Attr: "x", Val: dps.IntValue(int64(rng.Intn(worldSize)))},
+			dps.Assignment{Attr: "y", Val: dps.IntValue(int64(rng.Intn(worldSize)))},
+			dps.Assignment{Attr: "entity", Val: dps.IntValue(int64(i % 8))},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := source.Publish(ev); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	fmt.Printf("%d movement events on a %d×%d plane\n", moves, worldSize, worldSize)
+	total := 0
+	for _, p := range ps {
+		p.mu.Lock()
+		fmt.Printf("%s zone x[%d,%d) y[%d,%d): %d sightings\n",
+			p.name, p.zone[0], p.zone[1], p.zone[2], p.zone[3], p.seen)
+		total += p.seen
+		p.mu.Unlock()
+	}
+	// Each zone covers a quarter of the plane, so expect ≈ moves/4 each.
+	fmt.Printf("average sightings per player: %.1f (zone covers 25%% of the map)\n",
+		float64(total)/float64(len(ps)))
+}

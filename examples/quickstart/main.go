@@ -1,0 +1,63 @@
+// Quickstart: the smallest complete DPS program — two peers, one
+// content-based subscription, two publications, one delivery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dps "github.com/dps-overlay/dps"
+)
+
+func main() {
+	// A Network hosts in-process peers connected by the live runtime.
+	net, err := dps.NewNetwork(dps.Options{TickEvery: time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	alice, err := net.AddPeer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := net.AddPeer()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice wants trades of ACME between 100 and 200.
+	sub, err := dps.ParseSubscription(`sym="acme" && price>100 && price<200`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delivered := make(chan dps.Event, 1)
+	if err := alice.Subscribe(sub, func(ev dps.Event) {
+		delivered <- ev
+	}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the subscription settle into the overlay
+
+	// Bob publishes two trades; only one matches Alice's filter.
+	for _, text := range []string{
+		"sym=acme, price=150, qty=10",
+		"sym=emca, price=150, qty=99", // wrong symbol: filtered out in the overlay
+	} {
+		ev, err := dps.ParseEvent(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bob.Publish(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	select {
+	case ev := <-delivered:
+		fmt.Println("alice was notified:", ev)
+	case <-time.After(5 * time.Second):
+		log.Fatal("no delivery")
+	}
+}

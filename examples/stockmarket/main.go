@@ -1,0 +1,98 @@
+// Stockmarket: the paper's Workload-1 scenario as an application — a
+// stock-tick feed where traders subscribe to price bands and symbol
+// prefixes, and the semantic overlay spares everyone the ticks they do not
+// care about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	dps "github.com/dps-overlay/dps"
+)
+
+type trader struct {
+	name string
+	peer *dps.Peer
+	subs []string
+
+	mu       sync.Mutex
+	received int
+}
+
+func main() {
+	net, err := dps.NewNetwork(dps.Options{TickEvery: time.Millisecond, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	symbols := []string{"acme", "acorn", "banor", "bantam", "corex", "corvid"}
+	rng := rand.New(rand.NewSource(7))
+
+	// Ten traders with band + prefix interests.
+	traders := make([]*trader, 0, 10)
+	for i := 0; i < 10; i++ {
+		peer, err := net.AddPeer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &trader{name: fmt.Sprintf("trader-%02d", i), peer: peer}
+		lo := int64(rng.Intn(800))
+		band := fmt.Sprintf("price>%d && price<%d", lo, lo+200)
+		prefix := fmt.Sprintf("sym=%s*", symbols[rng.Intn(len(symbols))][:3])
+		t.subs = []string{band, prefix}
+		for _, text := range t.subs {
+			sub, err := dps.ParseSubscription(text)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tt := t
+			if err := peer.Subscribe(sub, func(ev dps.Event) {
+				tt.mu.Lock()
+				tt.received++
+				tt.mu.Unlock()
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		traders = append(traders, t)
+	}
+
+	exchange, err := net.AddPeer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // overlay settles
+
+	// The exchange publishes a burst of ticks.
+	const ticks = 200
+	for i := 0; i < ticks; i++ {
+		ev, err := dps.NewEvent(
+			dps.Assignment{Attr: "sym", Val: dps.StringValue(symbols[rng.Intn(len(symbols))])},
+			dps.Assignment{Attr: "price", Val: dps.IntValue(int64(rng.Intn(1000)))},
+			dps.Assignment{Attr: "qty", Val: dps.IntValue(int64(1 + rng.Intn(500)))},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exchange.Publish(ev); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // drain
+
+	sort.Slice(traders, func(i, j int) bool { return traders[i].name < traders[j].name })
+	fmt.Printf("%d ticks published\n", ticks)
+	for _, t := range traders {
+		t.mu.Lock()
+		fmt.Printf("%s  %4d notifications  (interests: %s | %s)\n",
+			t.name, t.received, t.subs[0], t.subs[1])
+		t.mu.Unlock()
+	}
+}

@@ -1,0 +1,172 @@
+// Package analysis implements the closed-form complexity and reliability
+// model of the paper's §5.1, used both to print the analytical comparison
+// of the four DPS configurations and to sanity-check the simulator (unit
+// tests compare measured worst cases against these bounds).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the symbols of §5.1: a tree of depth h whose largest group
+// has S members, epidemic fanout k inside a group and k' contacts per
+// adjacent group.
+type Params struct {
+	H  int // tree depth (number of levels)
+	S  int // maximal group size
+	K  int // epidemic in-group fanout (paper's k)
+	K2 int // epidemic next-level contacts (paper's k')
+}
+
+// Validate rejects non-positive shapes.
+func (p Params) Validate() error {
+	if p.H < 1 || p.S < 1 {
+		return errors.New("analysis: depth and group size must be positive")
+	}
+	if p.K < 0 || p.K2 < 0 {
+		return errors.New("analysis: fanouts must be non-negative")
+	}
+	return nil
+}
+
+// LeaderRoot returns the paper's worst-case message count for leader-based
+// communication with root-based traversal: h(S+1) − 2 — the traversal of
+// one branch, delivering to every group on it.
+func LeaderRoot(p Params) int {
+	return p.H*(p.S+1) - 2
+}
+
+// LeaderGeneric returns the worst case for leader-based communication with
+// generic traversal: 2h(S+1) − 4 — the event may climb the current branch
+// to the root and then descend another branch.
+func LeaderGeneric(p Params) int {
+	return 2*p.H*(p.S+1) - 4
+}
+
+// EpidemicRoot returns the worst case for epidemic communication with
+// root-based traversal: kS(1 + k'(h−1)) + k'(h−2).
+func EpidemicRoot(p Params) int {
+	return p.K*p.S*(1+p.K2*(p.H-1)) + p.K2*(p.H-2)
+}
+
+// EpidemicGeneric returns the worst case for epidemic communication with
+// generic traversal: twice the root-based cost (up one branch, down
+// another).
+func EpidemicGeneric(p Params) int {
+	return 2 * EpidemicRoot(p)
+}
+
+// Config names one of the four DPS implementations.
+type Config struct {
+	Generic  bool
+	Epidemic bool
+}
+
+// String returns the paper's name for the configuration.
+func (c Config) String() string {
+	t, m := "root", "leader"
+	if c.Generic {
+		t = "generic"
+	}
+	if c.Epidemic {
+		m = "epidemic"
+	}
+	return t + "-" + m
+}
+
+// MessageBound dispatches to the right closed form.
+func MessageBound(c Config, p Params) int {
+	switch {
+	case c.Generic && c.Epidemic:
+		return EpidemicGeneric(p)
+	case c.Generic:
+		return LeaderGeneric(p)
+	case c.Epidemic:
+		return EpidemicRoot(p)
+	default:
+		return LeaderRoot(p)
+	}
+}
+
+// Configs lists the four implementations in the paper's order.
+func Configs() []Config {
+	return []Config{
+		{Generic: false, Epidemic: false},
+		{Generic: false, Epidemic: true},
+		{Generic: true, Epidemic: false},
+		{Generic: true, Epidemic: true},
+	}
+}
+
+// MissProbability computes §5.1's reliability model for generic DPS: the
+// probability p that a new subscription s does not see a concurrently
+// published matching event e.
+//
+// levelProb[i] is the probability that a traversal picks its contact point
+// at level i of the tree; groupProb[k] the probability that s's similarity
+// group sits at level k. Both must sum to ≈1. The subscription misses the
+// event when its contact point is at level i, the event's at level j, and
+// the group at level k, with i < j < k (the event reaches the group before
+// the subscription settles there):
+//
+//	p = Σ_{i<j<k} levelProb[i] · levelProb[j] · groupProb[k]
+func MissProbability(levelProb, groupProb []float64) (float64, error) {
+	if len(levelProb) == 0 || len(levelProb) != len(groupProb) {
+		return 0, errors.New("analysis: level and group distributions must have equal non-zero length")
+	}
+	if err := isDistribution(levelProb); err != nil {
+		return 0, fmt.Errorf("analysis: levelProb: %w", err)
+	}
+	if err := isDistribution(groupProb); err != nil {
+		return 0, fmt.Errorf("analysis: groupProb: %w", err)
+	}
+	h := len(levelProb)
+	// Suffix sums of groupProb for O(h²) evaluation.
+	suffix := make([]float64, h+1)
+	for k := h - 1; k >= 0; k-- {
+		suffix[k] = suffix[k+1] + groupProb[k]
+	}
+	var p float64
+	for i := 0; i < h; i++ {
+		for j := i + 1; j < h; j++ {
+			p += levelProb[i] * levelProb[j] * suffix[j+1]
+		}
+	}
+	return p, nil
+}
+
+// RootMissProbability is the root-based special case: subscription and
+// event both enter at the root and subscriptions have processing priority,
+// so a concurrent matching event is never missed.
+func RootMissProbability() float64 { return 0 }
+
+// ExpectedDelivered returns how many of f concurrently published matching
+// events a fresh subscriber receives: f·(1−p) (§5.1).
+func ExpectedDelivered(f int, missProb float64) float64 {
+	return float64(f) * (1 - missProb)
+}
+
+func isDistribution(xs []float64) error {
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			return errors.New("negative probability")
+		}
+		sum += x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("probabilities sum to %.4f, want 1", sum)
+	}
+	return nil
+}
+
+// UniformLevels returns the uniform distribution over h levels, a common
+// instantiation for the generic traversal's contact points.
+func UniformLevels(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = 1 / float64(h)
+	}
+	return out
+}

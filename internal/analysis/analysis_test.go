@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMessageBoundFormulas(t *testing.T) {
+	p := Params{H: 4, S: 10, K: 1, K2: 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := LeaderRoot(p), 4*11-2; got != want {
+		t.Errorf("LeaderRoot = %d, want %d", got, want)
+	}
+	if got, want := LeaderGeneric(p), 2*4*11-4; got != want {
+		t.Errorf("LeaderGeneric = %d, want %d", got, want)
+	}
+	if got, want := EpidemicRoot(p), 1*10*(1+1*3)+1*2; got != want {
+		t.Errorf("EpidemicRoot = %d, want %d", got, want)
+	}
+	if got, want := EpidemicGeneric(p), 2*EpidemicRoot(p); got != want {
+		t.Errorf("EpidemicGeneric = %d, want %d", got, want)
+	}
+}
+
+func TestMessageBoundOrdering(t *testing.T) {
+	// The paper's qualitative conclusions: generic costs about twice the
+	// root-based variant, and epidemic costs grow with k and k'.
+	for _, p := range []Params{
+		{H: 3, S: 5, K: 1, K2: 1},
+		{H: 6, S: 20, K: 2, K2: 2},
+		{H: 10, S: 50, K: 3, K2: 1},
+	} {
+		if LeaderGeneric(p) <= LeaderRoot(p) {
+			t.Errorf("%+v: generic leader should cost more than root", p)
+		}
+		if EpidemicGeneric(p) <= EpidemicRoot(p) {
+			t.Errorf("%+v: generic epidemic should cost more than root", p)
+		}
+		bigger := Params{H: p.H, S: p.S, K: p.K + 1, K2: p.K2 + 1}
+		if EpidemicRoot(bigger) <= EpidemicRoot(p) {
+			t.Errorf("%+v: epidemic cost must grow with fanouts", p)
+		}
+	}
+}
+
+func TestMessageBoundDispatch(t *testing.T) {
+	p := Params{H: 4, S: 10, K: 2, K2: 2}
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{false, false}, LeaderRoot(p)},
+		{Config{false, true}, EpidemicRoot(p)},
+		{Config{true, false}, LeaderGeneric(p)},
+		{Config{true, true}, EpidemicGeneric(p)},
+	}
+	for _, c := range cases {
+		if got := MessageBound(c.cfg, p); got != c.want {
+			t.Errorf("MessageBound(%v) = %d, want %d", c.cfg, got, c.want)
+		}
+	}
+	if len(Configs()) != 4 {
+		t.Error("Configs should list four implementations")
+	}
+	names := map[string]bool{}
+	for _, c := range Configs() {
+		names[c.String()] = true
+	}
+	for _, want := range []string{"root-leader", "root-epidemic", "generic-leader", "generic-epidemic"} {
+		if !names[want] {
+			t.Errorf("missing configuration %q", want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{H: 0, S: 1},
+		{H: 1, S: 0},
+		{H: 1, S: 1, K: -1},
+		{H: 1, S: 1, K2: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+}
+
+func TestMissProbability(t *testing.T) {
+	// Hand-computed 3-level case: uniform contacts, group always at the
+	// deepest level. Only (i=0, j=1, k=2) contributes: (1/3)·(1/3)·1.
+	p, err := MissProbability([]float64{1. / 3, 1. / 3, 1. / 3}, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0/9.0) > 1e-9 {
+		t.Errorf("p = %v, want 1/9", p)
+	}
+	// Group at the root can never be missed.
+	p, err = MissProbability(UniformLevels(4), []float64{1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("p = %v, want 0", p)
+	}
+	// Root-based never misses.
+	if RootMissProbability() != 0 {
+		t.Error("root-based miss probability must be 0")
+	}
+}
+
+func TestMissProbabilityMonotone(t *testing.T) {
+	// Deeper similarity groups are easier to miss.
+	h := 6
+	shallow := make([]float64, h)
+	deep := make([]float64, h)
+	shallow[1] = 1
+	deep[h-1] = 1
+	ps, err := MissProbability(UniformLevels(h), shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := MissProbability(UniformLevels(h), deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd <= ps {
+		t.Errorf("deep group miss %v should exceed shallow %v", pd, ps)
+	}
+	if pd >= 1 {
+		t.Errorf("probability out of range: %v", pd)
+	}
+}
+
+func TestMissProbabilityErrors(t *testing.T) {
+	if _, err := MissProbability(nil, nil); err == nil {
+		t.Error("empty distributions accepted")
+	}
+	if _, err := MissProbability([]float64{0.5, 0.5}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MissProbability([]float64{0.9, 0.9}, []float64{1, 0}); err == nil {
+		t.Error("non-normalised distribution accepted")
+	}
+	if _, err := MissProbability([]float64{-0.5, 1.5}, []float64{1, 0}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestExpectedDelivered(t *testing.T) {
+	if got := ExpectedDelivered(100, 0.25); got != 75 {
+		t.Errorf("ExpectedDelivered = %v, want 75", got)
+	}
+	if got := ExpectedDelivered(10, 0); got != 10 {
+		t.Errorf("ExpectedDelivered with p=0 = %v, want 10", got)
+	}
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/semtree"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// cluster is the shared test harness: a cycle engine running DPS nodes,
+// with per-event contacted/delivered sets recorded by the node hooks.
+type cluster struct {
+	t         *testing.T
+	engine    *sim.Engine
+	dir       *SharedDirectory
+	nodes     map[sim.NodeID]*Node
+	contacted map[EventID]map[sim.NodeID]bool
+	delivered map[EventID]map[sim.NodeID]bool
+	nextEvent EventID
+}
+
+func newCluster(t *testing.T, n int, mutate func(*Config)) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:         t,
+		dir:       NewSharedDirectory(),
+		nodes:     make(map[sim.NodeID]*Node, n),
+		contacted: make(map[EventID]map[sim.NodeID]bool),
+		delivered: make(map[EventID]map[sim.NodeID]bool),
+	}
+	c.engine = sim.NewEngine(sim.Config{Seed: 7})
+	for i := 1; i <= n; i++ {
+		c.addNode(sim.NodeID(i), mutate)
+	}
+	return c
+}
+
+func (c *cluster) addNode(id sim.NodeID, mutate func(*Config)) *Node {
+	c.t.Helper()
+	cfg := DefaultConfig()
+	cfg.Directory = c.dir
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	node, err := NewNode(cfg)
+	if err != nil {
+		c.t.Fatalf("NewNode: %v", err)
+	}
+	node.OnEventHook(func(ev EventID, _ filter.Event) {
+		m := c.contacted[ev]
+		if m == nil {
+			m = make(map[sim.NodeID]bool)
+			c.contacted[ev] = m
+		}
+		m[id] = true
+	})
+	node.OnDeliverHook(func(ev EventID, _ filter.Event) {
+		m := c.delivered[ev]
+		if m == nil {
+			m = make(map[sim.NodeID]bool)
+			c.delivered[ev] = m
+		}
+		m[id] = true
+	})
+	if err := c.engine.Add(id, node); err != nil {
+		c.t.Fatalf("engine.Add: %v", err)
+	}
+	c.nodes[id] = node
+	return node
+}
+
+func (c *cluster) subscribe(id sim.NodeID, subText string) {
+	c.t.Helper()
+	sub, err := filter.ParseSubscription(subText)
+	if err != nil {
+		c.t.Fatalf("parse %q: %v", subText, err)
+	}
+	if err := c.nodes[id].Subscribe(sub); err != nil {
+		c.t.Fatalf("subscribe %d %q: %v", id, subText, err)
+	}
+}
+
+func (c *cluster) settle(steps int) { c.engine.Run(steps) }
+
+func (c *cluster) publish(from sim.NodeID, evText string) EventID {
+	c.t.Helper()
+	ev, err := filter.ParseEvent(evText)
+	if err != nil {
+		c.t.Fatalf("parse event %q: %v", evText, err)
+	}
+	c.nextEvent++
+	id := c.nextEvent
+	if err := c.nodes[from].Publish(id, ev); err != nil {
+		c.t.Fatalf("publish %q: %v", evText, err)
+	}
+	return id
+}
+
+// groupsOf collects the distributed group structure: canonical filter key
+// → set of live member nodes (by their own membership records).
+func (c *cluster) groupsOf() map[string]map[sim.NodeID]bool {
+	out := make(map[string]map[sim.NodeID]bool)
+	for id, node := range c.nodes {
+		if !c.engine.Alive(id) {
+			continue
+		}
+		for _, key := range node.Memberships() {
+			m := node.group(key)
+			if m.isRoot || m.state != stateActive {
+				continue
+			}
+			set := out[key]
+			if set == nil {
+				set = make(map[sim.NodeID]bool)
+				out[key] = set
+			}
+			set[id] = true
+		}
+	}
+	return out
+}
+
+func modes() []struct {
+	name string
+	trav TraversalMode
+	comm CommMode
+} {
+	return []struct {
+		name string
+		trav TraversalMode
+		comm CommMode
+	}{
+		{"root-leader", RootBased, LeaderBased},
+		{"root-epidemic", RootBased, Epidemic},
+		{"generic-leader", Generic, LeaderBased},
+		{"generic-epidemic", Generic, Epidemic},
+	}
+}
+
+func TestSingleGroupFormation(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.name, func(t *testing.T) {
+			c := newCluster(t, 3, func(cfg *Config) {
+				cfg.Traversal = mode.trav
+				cfg.Comm = mode.comm
+				// Flood-grade gossip so epidemic runs are deterministic
+				// enough for exact assertions.
+				cfg.Fanout = 3
+				cfg.SubFanout = 3
+				cfg.ForwardDecay = 1
+			})
+			for id := sim.NodeID(1); id <= 3; id++ {
+				c.subscribe(id, "a>2")
+				c.settle(5)
+			}
+			c.settle(40)
+			groups := c.groupsOf()
+			key := filter.MustAttrFilter("a", filter.Gt("a", 2)).Key()
+			if len(groups[key]) != 3 {
+				t.Fatalf("group a>2 has members %v, want all 3", groups[key])
+			}
+			if len(groups) != 1 {
+				t.Fatalf("expected exactly one group, got %v", groups)
+			}
+		})
+	}
+}
+
+func TestChainConstructionMatchesOracle(t *testing.T) {
+	subs := []string{
+		"a>2", "a>5", "a>3", "a=4", "a<20", "a<11",
+		"a>2 && a<20", "a>0 && a<15", "a>10 && a<30",
+	}
+	for _, mode := range modes() {
+		t.Run(mode.name, func(t *testing.T) {
+			c := newCluster(t, len(subs), func(cfg *Config) {
+				cfg.Traversal = mode.trav
+				cfg.Comm = mode.comm
+				cfg.Fanout = 3
+				cfg.SubFanout = 3
+				cfg.ForwardDecay = 1
+			})
+			oracle := semtree.New()
+			for i, s := range subs {
+				id := sim.NodeID(i + 1)
+				c.subscribe(id, s)
+				c.settle(8) // sequential joins: overlay must equal oracle
+				sub, _ := filter.ParseSubscription(s)
+				if _, err := oracle.Subscribe(semtree.MemberID(id), sub); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.settle(40)
+			got := c.groupsOf()
+			// Oracle group membership must match the distributed one.
+			tr := oracle.Tree("a")
+			want := make(map[string]map[sim.NodeID]bool)
+			tr.Walk(func(g *semtree.Group) bool {
+				if g.Filter.IsUniversal() {
+					return true
+				}
+				set := make(map[sim.NodeID]bool, g.Size())
+				for id := range g.Members {
+					set[sim.NodeID(id)] = true
+				}
+				want[g.Filter.Key()] = set
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("group count: overlay %d vs oracle %d\noverlay: %v\noracle: %v",
+					len(got), len(want), got, want)
+			}
+			for key, members := range want {
+				gm := got[key]
+				if len(gm) != len(members) {
+					t.Errorf("group %q: overlay members %v, oracle %v", key, gm, members)
+					continue
+				}
+				for id := range members {
+					if !gm[id] {
+						t.Errorf("group %q: overlay missing member %d", key, id)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPublishDeliversToAllMatching(t *testing.T) {
+	subs := map[sim.NodeID]string{
+		1: "a>2",
+		2: "a>2 && a<20",
+		3: "a>2 && a<5",
+		4: "a<3",
+		5: "a>2 && b>100",
+		6: "b<50",
+		7: "a=10",
+	}
+	events := []string{"a=10, b=7", "a=2, b=7", "a=4, b=200"}
+	for _, mode := range modes() {
+		t.Run(mode.name, func(t *testing.T) {
+			c := newCluster(t, len(subs)+1, func(cfg *Config) {
+				cfg.Traversal = mode.trav
+				cfg.Comm = mode.comm
+				cfg.Fanout = 4
+				cfg.SubFanout = 4
+				cfg.CrossFanout = 2
+				cfg.ForwardDecay = 1
+			})
+			oracle := semtree.New()
+			for id := sim.NodeID(1); id <= sim.NodeID(len(subs)); id++ {
+				c.subscribe(id, subs[id])
+				c.settle(8)
+				sub, _ := filter.ParseSubscription(subs[id])
+				if _, err := oracle.Subscribe(semtree.MemberID(id), sub); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.settle(40)
+			publisher := sim.NodeID(len(subs) + 1)
+			for _, evText := range events {
+				evID := c.publish(publisher, evText)
+				c.settle(30)
+				ev, _ := filter.ParseEvent(evText)
+				for want := range oracle.MatchingMembers(ev) {
+					if !c.delivered[evID][sim.NodeID(want)] {
+						t.Errorf("event %q: matching node %d not delivered (mode %s)",
+							evText, want, mode.name)
+					}
+				}
+				// No spurious deliveries: delivered ⊆ matching.
+				matching := oracle.MatchingMembers(ev)
+				for id := range c.delivered[evID] {
+					if !matching[semtree.MemberID(id)] {
+						t.Errorf("event %q: node %d delivered but does not match", evText, id)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestContactedMatchesOracleLeaderRoot(t *testing.T) {
+	// Without failures, root-based leader routing must contact exactly the
+	// oracle's contacted set: tree owner plus members of matching groups.
+	subs := map[sim.NodeID]string{
+		1: "a>2",
+		2: "a>2 && a<20",
+		3: "a>2 && a<5",
+		4: "a<3",
+		5: "a>2 && b>100",
+	}
+	c := newCluster(t, len(subs)+1, nil)
+	oracle := semtree.New()
+	for id := sim.NodeID(1); id <= sim.NodeID(len(subs)); id++ {
+		c.subscribe(id, subs[id])
+		c.settle(8)
+		sub, _ := filter.ParseSubscription(subs[id])
+		if _, err := oracle.Subscribe(semtree.MemberID(id), sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.settle(30)
+	publisher := sim.NodeID(len(subs) + 1)
+	for _, evText := range []string{"a=10, b=7", "a=4, b=150", "a=1, b=1"} {
+		evID := c.publish(publisher, evText)
+		c.settle(20)
+		ev, _ := filter.ParseEvent(evText)
+		res := oracle.Match(ev)
+		if len(c.contacted[evID]) != len(res.Contacted) {
+			t.Errorf("event %q: contacted %v, oracle %v", evText, c.contacted[evID], res.Contacted)
+			continue
+		}
+		for id := range res.Contacted {
+			if !c.contacted[evID][sim.NodeID(id)] {
+				t.Errorf("event %q: oracle contact %d missing", evText, id)
+			}
+		}
+	}
+}
+
+func TestUnsubscribeDissolvesGroup(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.subscribe(1, "a>0 && a<100")
+	c.settle(8)
+	c.subscribe(2, "a>10 && a<50")
+	c.settle(8)
+	c.subscribe(3, "a>20 && a<30")
+	c.settle(20)
+	// Node 2's group sits between 1's and 3's. Unsubscribe dissolves it;
+	// node 3's group must be adopted by node 1's.
+	sub, _ := filter.ParseSubscription("a>10 && a<50")
+	if err := c.nodes[2].Unsubscribe(sub); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	c.settle(20)
+	groups := c.groupsOf()
+	midKey := filter.MustAttrFilter("a", filter.Gt("a", 10), filter.Lt("a", 50)).Key()
+	if len(groups[midKey]) != 0 {
+		t.Errorf("dissolved group still has members: %v", groups[midKey])
+	}
+	// Routing still works end to end.
+	evID := c.publish(1, "a=25")
+	c.settle(20)
+	if !c.delivered[evID][1] || !c.delivered[evID][3] {
+		t.Errorf("delivery after dissolution: %v", c.delivered[evID])
+	}
+	if c.delivered[evID][2] {
+		t.Error("unsubscribed node still delivered")
+	}
+	// Double unsubscribe errors.
+	if err := c.nodes[2].Unsubscribe(sub); err == nil {
+		t.Error("second unsubscribe should fail")
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newCluster(t, 5, nil)
+	// All five share one group; node 1 joins first and owns the tree; the
+	// group leader is the group creator.
+	for id := sim.NodeID(1); id <= 5; id++ {
+		c.subscribe(id, "a>2 && a<100")
+		c.settle(6)
+	}
+	c.settle(30)
+	key := filter.MustAttrFilter("a", filter.Gt("a", 2), filter.Lt("a", 100)).Key()
+	var leader sim.NodeID
+	for id, node := range c.nodes {
+		if m := node.group(key); m != nil && m.leader == id {
+			leader = id
+			break
+		}
+	}
+	if leader == 0 {
+		t.Fatal("no leader found")
+	}
+	c.engine.Kill(leader)
+	c.settle(150) // let heartbeats time out and the co-leader take over
+	var newLeader sim.NodeID
+	for id, node := range c.nodes {
+		if !c.engine.Alive(id) {
+			continue
+		}
+		if m := node.group(key); m != nil && m.leader == id {
+			newLeader = id
+			break
+		}
+	}
+	if newLeader == 0 || newLeader == leader {
+		t.Fatalf("no replacement leader elected (old %d, new %d)", leader, newLeader)
+	}
+	// Events still flow to all surviving members.
+	var publisher sim.NodeID
+	for id := sim.NodeID(1); id <= 5; id++ {
+		if c.engine.Alive(id) {
+			publisher = id
+			break
+		}
+	}
+	evID := c.publish(publisher, "a=50")
+	c.settle(30)
+	for id := sim.NodeID(1); id <= 5; id++ {
+		if !c.engine.Alive(id) {
+			continue
+		}
+		if !c.delivered[evID][id] {
+			t.Errorf("surviving member %d missed the event after failover", id)
+		}
+	}
+}
+
+func TestRootFailureReclaimed(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	for id := sim.NodeID(1); id <= 4; id++ {
+		c.subscribe(id, "a>2")
+		c.settle(6)
+	}
+	c.settle(30)
+	owner, ok := c.dir.Owner("a")
+	if !ok {
+		t.Fatal("no owner registered")
+	}
+	c.engine.Kill(owner)
+	c.settle(200)
+	newOwner, ok := c.dir.Owner("a")
+	if !ok || newOwner == owner || !c.engine.Alive(newOwner) {
+		t.Fatalf("ownership not reclaimed: owner=%d alive=%v", newOwner, c.engine.Alive(newOwner))
+	}
+	// Publications from any survivor reach all surviving subscribers.
+	var publisher sim.NodeID
+	for id := sim.NodeID(1); id <= 4; id++ {
+		if c.engine.Alive(id) {
+			publisher = id
+			break
+		}
+	}
+	evID := c.publish(publisher, "a=10")
+	c.settle(40)
+	for id := sim.NodeID(1); id <= 4; id++ {
+		if !c.engine.Alive(id) {
+			continue
+		}
+		if !c.delivered[evID][id] {
+			t.Errorf("survivor %d missed event after root reclamation", id)
+		}
+	}
+}
+
+func TestEpidemicToleratesFailures(t *testing.T) {
+	// With gossip redundancy, killing a random third of a group must not
+	// stop delivery to the rest.
+	c := newCluster(t, 9, func(cfg *Config) {
+		cfg.Comm = Epidemic
+		cfg.Fanout = 3
+		cfg.SubFanout = 3
+		cfg.CrossFanout = 2
+		cfg.ForwardDecay = 1
+	})
+	for id := sim.NodeID(1); id <= 9; id++ {
+		c.subscribe(id, "a>2")
+		c.settle(5)
+	}
+	c.settle(60)
+	c.engine.Kill(3)
+	c.engine.Kill(6)
+	c.engine.Kill(9)
+	c.settle(150)
+	// Gossip is probabilistic: assert high aggregate delivery over several
+	// events rather than every single pair.
+	var expected, delivered int
+	for i := 0; i < 6; i++ {
+		evID := c.publish(1, "a=10")
+		c.settle(40)
+		for id := sim.NodeID(1); id <= 8; id++ {
+			if !c.engine.Alive(id) {
+				continue
+			}
+			expected++
+			if c.delivered[evID][id] {
+				delivered++
+			}
+		}
+	}
+	if ratio := float64(delivered) / float64(expected); ratio < 0.9 {
+		t.Errorf("delivery ratio %.2f after failures, want ≥ 0.9 (%d/%d)",
+			ratio, delivered, expected)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	c := newCluster(t, 1, nil)
+	sub := filter.MustSubscription(filter.Gt("a", 10), filter.Lt("a", 5))
+	if err := c.nodes[1].Subscribe(sub); err == nil {
+		t.Error("unsatisfiable subscription accepted")
+	}
+	if err := c.nodes[1].Unsubscribe(filter.MustSubscription(filter.Gt("z", 1))); err == nil {
+		t.Error("unsubscribing unknown filter should fail")
+	}
+	var empty filter.Event
+	if err := c.nodes[1].Publish(1, empty); err == nil {
+		t.Error("empty event accepted")
+	}
+}
+
+func TestDuplicateSubscriptionSharesMembership(t *testing.T) {
+	c := newCluster(t, 1, nil)
+	c.subscribe(1, "a>2 && b>0")
+	c.settle(10)
+	c.subscribe(1, "a>2 && b<100") // same filter on the joined attribute
+	c.settle(10)
+	if got := len(c.nodes[1].Memberships()); got != 2 { // root + a>2
+		t.Errorf("memberships = %v", c.nodes[1].Memberships())
+	}
+	if got := len(c.nodes[1].Subscriptions()); got != 2 {
+		t.Errorf("subscriptions = %d, want 2", got)
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Error("config without directory accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Directory = NewSharedDirectory()
+	cfg.Traversal = 0
+	if _, err := NewNode(cfg); err == nil {
+		t.Error("invalid traversal accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Directory = NewSharedDirectory()
+	cfg.Comm = 0
+	if _, err := NewNode(cfg); err == nil {
+		t.Error("invalid comm accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Directory = NewSharedDirectory()
+	cfg.K = 0
+	if _, err := NewNode(cfg); err == nil {
+		t.Error("invalid K accepted")
+	}
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// This file implements the self-healing machinery of §4.3: heartbeat-based
+// failure detection over the view structures, co-leader promotion on
+// leader crashes, predview/succview repair, tree-root reclamation, and the
+// periodic view-exchange ("merge") process that reconciles duplicate
+// groups created by concurrency.
+
+// Failure detection (§4.3) differs by communication mode.
+//
+// Leader mode is push-based and asymmetric, keeping regular members silent
+// (the paper's median leader-mode node "shows no sending activity"): the
+// leader periodically heartbeats its members and the adjacent groups'
+// contacts; co-leaders heartbeat the leader; everyone else detects
+// passively from the silence of the peers they expect traffic from. A
+// member whose whole leadership goes silent re-attaches itself after a
+// grace period (the multi-level-view recovery of §4.3, realised as a
+// re-walk).
+//
+// Epidemic mode is probe-based and symmetric: every member probes its view
+// neighbours, which answer with acks.
+
+// heartbeatSendTargets collects the peers this node actively heartbeats.
+func (n *Node) heartbeatSendTargets() []sim.NodeID {
+	set := newView()
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if m.state != stateActive {
+			continue
+		}
+		switch n.cfg.Comm {
+		case Epidemic:
+			for _, p := range m.parent.Nodes {
+				set.add(p)
+			}
+			for _, k := range sortedBranchKeys(m.branches) {
+				for _, c := range m.branches[k].Nodes {
+					set.add(c)
+				}
+			}
+			// Probe a bounded slice of the partial group view.
+			for _, id := range m.members.headAfter(n.cfg.K, n.ID()) {
+				set.add(id)
+			}
+		default:
+			switch {
+			case m.isLeaderHere(n.ID()):
+				for _, id := range m.members.ids() {
+					set.add(id)
+				}
+				for _, p := range m.parent.Nodes {
+					set.add(p)
+				}
+				for _, k := range sortedBranchKeys(m.branches) {
+					for _, c := range m.branches[k].Nodes {
+						set.add(c)
+					}
+				}
+			case m.coLeaders.has(n.ID()) && m.leader != 0:
+				set.add(m.leader)
+			}
+		}
+	}
+	set.remove(n.ID())
+	return set.ids()
+}
+
+// expectedPeers collects the peers whose periodic traffic this node
+// relies on for liveness judgement.
+func (n *Node) expectedPeers() []sim.NodeID {
+	set := newView()
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if m.state != stateActive {
+			continue
+		}
+		switch n.cfg.Comm {
+		case Epidemic:
+			// Symmetric probing: we judge exactly whom we probe.
+			for _, p := range m.parent.Nodes {
+				set.add(p)
+			}
+			for _, k := range sortedBranchKeys(m.branches) {
+				for _, c := range m.branches[k].Nodes {
+					set.add(c)
+				}
+			}
+			for _, id := range m.members.headAfter(n.cfg.K, n.ID()) {
+				set.add(id)
+			}
+		default:
+			if m.leader != 0 && !m.isLeaderHere(n.ID()) {
+				set.add(m.leader) // the leader heartbeats all members
+			}
+			if m.isLeaderHere(n.ID()) {
+				for _, cl := range m.coLeaders.ids() {
+					set.add(cl) // co-leaders heartbeat their leader
+				}
+				// Adjacent leaders heartbeat their branch/parent contacts,
+				// which include us.
+				for _, p := range m.parent.Nodes[:min1(len(m.parent.Nodes))] {
+					set.add(p)
+				}
+				for _, k := range sortedBranchKeys(m.branches) {
+					b := m.branches[k]
+					for _, c := range b.Nodes[:min1(len(b.Nodes))] {
+						set.add(c)
+					}
+				}
+			}
+		}
+	}
+	set.remove(n.ID())
+	return set.ids()
+}
+
+func min1(n int) int {
+	if n > 1 {
+		return 1
+	}
+	return n
+}
+
+// heartbeatRound sends this node's probes and judges expected peers.
+func (n *Node) heartbeatRound(now int64) {
+	for _, peer := range n.heartbeatSendTargets() {
+		n.send(peer, heartbeat{})
+	}
+	timeout := n.cfg.HBTimeoutMult * n.cfg.HBMax
+	for _, peer := range n.expectedPeers() {
+		last, known := n.lastSeen[peer]
+		if !known {
+			// First round watching this peer: start its clock now.
+			n.lastSeen[peer] = now
+			continue
+		}
+		if now-last > timeout && !n.suspected[peer] {
+			n.suspected[peer] = true
+			n.handleFailure(peer)
+		}
+	}
+	// Leaderless grace: an active leader-mode membership without a live
+	// leader re-attaches once no promotion announcement arrives in time.
+	if n.cfg.Comm == LeaderBased {
+		for _, key := range sortedBranchKeysOfGroups(n.groups) {
+			m := n.groups[key]
+			if m.state != stateActive || m.isRoot || m.leader != 0 {
+				continue
+			}
+			switch {
+			case m.leaderlessAt == 0:
+				m.leaderlessAt = now
+			case now-m.leaderlessAt > timeout:
+				m.leaderlessAt = 0
+				n.reattach(m)
+			}
+		}
+	}
+}
+
+// handleFailure repairs every structure that referenced the dead peer
+// ("if one node has failed, it is immediately replaced by pulling a view
+// update from the other alive nodes").
+func (n *Node) handleFailure(peer sim.NodeID) {
+	// Purge the dead peer from the entry-point registry of the trees we
+	// know about.
+	seen := map[string]bool{}
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		attr := n.groups[key].af.Attr()
+		if !seen[attr] {
+			seen[attr] = true
+			n.cfg.Directory.DropContact(attr, peer)
+		}
+	}
+	// Leadership first: promotions need the membership still marked
+	// active.
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		m.members.remove(peer)
+		m.coLeaders.remove(peer)
+		// Leader replacement (§4.3): the first alive co-leader takes over.
+		if n.cfg.Comm == LeaderBased && m.leader == peer {
+			n.replaceLeader(m)
+		}
+	}
+	// Root reclamation next, so that any re-walk triggered by view repair
+	// below already targets a live owner.
+	n.reclaimRoots(peer)
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		// Predview repair: drop the contact; if the whole predecessor view
+		// died, re-walk to re-attach the group.
+		if has(m.parent.Nodes, peer) {
+			if !m.parent.dropNode(peer) && !m.isRoot && m.state == stateActive {
+				n.reattach(m)
+			}
+		}
+		// Succview repair: drop the contact from the branch; an empty
+		// branch is removed — its members will re-attach themselves.
+		for _, k := range sortedBranchKeys(m.branches) {
+			b := m.branches[k]
+			if has(b.Nodes, peer) && !b.dropNode(peer) {
+				delete(m.branches, k)
+			}
+		}
+	}
+}
+
+func has(ids []sim.NodeID, id sim.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceLeader runs the co-leader promotion protocol after a leader
+// crash. Only the designated successor acts; other members wait for its
+// announcement (and fall back to re-attachment if none comes).
+func (n *Node) replaceLeader(m *membership) {
+	m.leader = 0
+	successor, ok := m.coLeaders.first()
+	if !ok {
+		// No co-leader survived. Every member independently re-walks; the
+		// group re-forms at the same spot (first arrival re-creates it,
+		// the rest join).
+		if m.state == stateActive && !m.isRoot {
+			n.reattach(m)
+		}
+		return
+	}
+	if successor != n.ID() {
+		return // the successor will announce itself
+	}
+	m.leader = n.ID()
+	m.leaderlessAt = 0
+	m.coLeaders.remove(n.ID())
+	if m.isRoot {
+		// Co-owner takes over the tree: ownership follows the root
+		// group's leadership.
+		n.cfg.Directory.ReplaceOwner(m.af.Attr(), n.ID())
+		n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
+	}
+	// Promote a regular member to keep Kc co-leaders.
+	for _, cand := range m.members.headAfter(n.cfg.Kc, append(m.coLeaders.ids(), n.ID())...) {
+		if m.coLeaders.len() >= n.cfg.Kc {
+			break
+		}
+		m.coLeaders.add(cand)
+	}
+	n.broadcastCoLeaders(m)
+	// Freshly promoted co-leaders need the full groupview they now mirror.
+	full := viewExchange{
+		AF:       m.af,
+		Members:  m.members.ids(),
+		Parent:   cloneBranch(m.parent),
+		Branches: branchList(m.branches),
+		Leader:   m.leader,
+		CoLead:   m.coLeaders.ids(),
+		Reply:    true,
+	}
+	for _, cl := range m.coLeaders.ids() {
+		n.send(cl, full)
+	}
+	n.notifyNeighboursOfContacts(m, append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...))
+}
+
+// reattach re-runs the placement walk for a group this node already
+// belongs to (lost predecessor). The walk terminates in joinAccept (another
+// replica of the group exists — merge) or createGroup (fresh spot).
+func (n *Node) reattach(m *membership) {
+	n.setJoining(m)
+	n.startJoin(m)
+}
+
+// demoteInto resolves a duplicate-group merge against a lower-id leader:
+// this node stops leading, points its members at the winner, and ships its
+// whole state over so the winner's groupview absorbs this instance.
+func (n *Node) demoteInto(m *membership, winner sim.NodeID, winnerCoLead []sim.NodeID) {
+	m.leader = winner
+	m.leaderlessAt = 0
+	mine := m.members.ids()
+	m.coLeaders = newView(winnerCoLead...)
+	ann := coLeaderUpdate{AF: m.af, Leader: winner, CoLeaders: winnerCoLead}
+	for _, id := range mine {
+		if id != n.ID() && id != winner {
+			n.send(id, ann)
+		}
+	}
+	n.send(winner, viewExchange{
+		AF:       m.af,
+		Members:  mine,
+		Parent:   cloneBranch(m.parent),
+		Branches: branchList(m.branches),
+		Leader:   winner,
+		CoLead:   winnerCoLead,
+		Reply:    true,
+	})
+}
+
+// reclaimRoots claims ownership of trees whose owner died, re-rooting our
+// top-level groups there ("self-healing ... preserved at any time").
+func (n *Node) reclaimRoots(dead sim.NodeID) {
+	attrs := map[string]bool{}
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if !m.isRoot {
+			attrs[m.af.Attr()] = true // joining memberships count too
+		}
+	}
+	for attr := range attrs {
+		owner, ok := n.cfg.Directory.Owner(attr)
+		if !ok || owner != dead {
+			continue
+		}
+		// In leader mode, ownership follows the root group: only a node
+		// holding a root mirror (the owner's co-owners) may claim, or
+		// every detecting member would race ReplaceOwner and a fresh,
+		// branch-less root could displace the legitimate mirror. The
+		// escalation in startJoin covers the all-mirrors-dead case.
+		if n.cfg.Comm == LeaderBased {
+			mirror, okM := n.groups[filter.UniversalFilter(attr).Key()]
+			if !okM || !mirror.isRoot {
+				continue
+			}
+		}
+		n.cfg.Directory.ReplaceOwner(attr, n.ID())
+		n.ensureRoot(attr)
+		// Re-walk all our groups of that tree under the new root.
+		for _, key := range sortedBranchKeysOfGroups(n.groups) {
+			m := n.groups[key]
+			if m.af.Attr() == attr && !m.isRoot {
+				n.reattach(m)
+			}
+		}
+	}
+}
+
+// viewExchangeRound runs the periodic anti-entropy of §4.2.2: ship view
+// samples to group members and succview contacts; receiving a view about a
+// group with the same filter merges memberships (duplicate-group merge)
+// and refreshes contacts.
+func (n *Node) viewExchangeRound() {
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if m.state != stateActive {
+			continue
+		}
+		msg := viewExchange{
+			AF:       m.af,
+			Members:  n.memberSample(m),
+			Parent:   cloneBranch(m.parent),
+			Branches: branchList(m.branches),
+			Leader:   m.leader,
+			CoLead:   m.coLeaders.ids(),
+		}
+		var targets []sim.NodeID
+		adjacent := false // may this node speak for the group tree-wise?
+		switch n.cfg.Comm {
+		case Epidemic:
+			targets = m.members.sample(n.env.Rand(), 1, n.ID())
+			// Feed the predecessor fresh contacts for its succview entry,
+			// so cross-group fanout (k') has somewhere to fan to.
+			if p, ok := m.parent.first(); ok {
+				targets = append(targets, p)
+			}
+			adjacent = true
+		default:
+			// Only the leader exchanges with adjacent groups: a co-leader
+			// mirror pushing its view to children would displace the
+			// authoritative leader from their predviews.
+			if m.isLeaderHere(n.ID()) {
+				targets = m.coLeaders.ids()
+				if p, ok := m.parent.first(); ok {
+					targets = append(targets, p)
+				}
+				adjacent = true
+			}
+		}
+		// The merge process: send the succview to succview contacts too.
+		if adjacent {
+			for _, k := range sortedBranchKeys(m.branches) {
+				if cs := m.branches[k].Nodes; len(cs) > 0 {
+					targets = append(targets, cs[0])
+				}
+			}
+		}
+		for _, t := range targets {
+			n.send(t, msg)
+		}
+		// Deposed duplicate roots dissolve themselves (duplicate-tree
+		// merge of §4.1).
+		if m.isRoot {
+			n.checkRootStillOwned(m)
+			continue
+		}
+		// Periodic re-traversal (§4.1): probe the canonical position of
+		// this group; if a duplicate instance created concurrently turns
+		// out to be the canonical one, the probe merges us into it. One
+		// representative probes: the leader in leader mode, everyone
+		// (cheaply staggered) in epidemic mode.
+		probe := false
+		switch n.cfg.Comm {
+		case Epidemic:
+			probe = n.env.Rand().Intn(4) == 0
+		default:
+			probe = m.isLeaderHere(n.ID())
+		}
+		if probe {
+			n.sendProbe(m)
+		}
+	}
+}
+
+// sendProbe launches a probe walk for the group's canonical position.
+func (n *Node) sendProbe(m *membership) {
+	attr := m.af.Attr()
+	owner, ok := n.cfg.Directory.Owner(attr)
+	if !ok {
+		return
+	}
+	f := findGroup{AF: m.af, Subscriber: n.ID(), Mode: n.cfg.Traversal, Probe: true}
+	if owner == n.ID() {
+		n.localFindGroup(f)
+		return
+	}
+	n.send(owner, f)
+}
+
+// checkRootStillOwned dissolves our root membership if the directory now
+// names someone else, telling our top-level branches to re-walk there.
+func (n *Node) checkRootStillOwned(m *membership) {
+	if !m.isLeaderHere(n.ID()) {
+		return // co-owner mirrors never dissolve the root
+	}
+	owner, ok := n.cfg.Directory.Owner(m.af.Attr())
+	if !ok {
+		n.cfg.Directory.ClaimOwner(m.af.Attr(), n.ID())
+		return
+	}
+	if owner == n.ID() {
+		return
+	}
+	// Someone else owns the tree now: hand our branches over.
+	for _, k := range sortedBranchKeys(m.branches) {
+		b := m.branches[k]
+		for _, c := range b.Nodes {
+			n.send(c, rehome{AF: b.AF})
+		}
+	}
+	n.dropMembership(m.af.Key())
+}
+
+// handleViewExchange merges a received view sample into local state.
+func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
+	m, ok := n.groups[msg.AF.Key()]
+	if ok && m.state == stateActive {
+		// Same group: union memberships (this is what merges duplicate
+		// groups created concurrently — they share a key).
+		foreign := from != m.leader && !m.coLeaders.has(from) && !m.members.has(from)
+		for _, id := range msg.Members {
+			m.members.add(id)
+		}
+		if n.cfg.Comm == Epidemic {
+			m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
+		} else {
+			// Adopt the sender's leadership if we lost ours.
+			if m.leader == 0 && msg.Leader != 0 && !n.suspected[msg.Leader] {
+				m.leader = msg.Leader
+				m.leaderlessAt = 0
+				m.coLeaders = n.liveView(msg.CoLead)
+			}
+			// Duplicate-instance merge (§4.2.2): two leaders for the same
+			// canonical filter resolve to the lowest id; the loser demotes
+			// and ships its state to the winner. A winner learning of a
+			// higher-id instance announces itself so the loser can demote
+			// (relayed updates are terminal and would not be replied to).
+			if m.isLeaderHere(n.ID()) && msg.Leader != 0 && msg.Leader != n.ID() &&
+				!n.suspected[msg.Leader] && !m.isRoot {
+				if msg.Leader < n.ID() {
+					n.demoteInto(m, msg.Leader, msg.CoLead)
+				} else {
+					n.send(msg.Leader, viewExchange{
+						AF:       m.af,
+						Members:  m.members.ids(),
+						Parent:   cloneBranch(m.parent),
+						Branches: branchList(m.branches),
+						Leader:   n.ID(),
+						CoLead:   m.coLeaders.ids(),
+						Reply:    true,
+					})
+				}
+			}
+		}
+		if len(m.parent.Nodes) == 0 && len(msg.Parent.Nodes) > 0 && !m.isRoot {
+			m.parent = cloneBranch(msg.Parent)
+		}
+		// Refresh branches we both know. Root mirrors adopt branches their
+		// leader knows and they do not (keeping co-owner mirrors fresh);
+		// merging foreign instances adopt the other instance's safe
+		// branches. Intra-instance exchanges must not, or branches deleted
+		// by re-parenting would resurrect from stale co-leader state.
+		for _, b := range msg.Branches {
+			if cur, okB := m.branches[b.AF.Key()]; okB {
+				cur.mergeNodes(b.Nodes, n.cfg.K)
+			} else if (m.isRoot && from == m.leader) ||
+				(foreign && m.af.StrictlyIncludes(b.AF)) {
+				nb := cloneBranch(b)
+				m.branches[b.AF.Key()] = &nb
+			}
+		}
+		if !msg.Reply {
+			reply := viewExchange{
+				AF:       m.af,
+				Members:  n.memberSample(m),
+				Parent:   cloneBranch(m.parent),
+				Branches: branchList(m.branches),
+				Leader:   m.leader,
+				CoLead:   m.coLeaders.ids(),
+				Reply:    true,
+			}
+			n.send(from, reply)
+		}
+		return
+	}
+	// The sender believes we are adjacent to msg.AF. If we hold a branch
+	// for the sender's group, refresh its contact list with the sender's
+	// membership sample — this is what gives succview entries their K
+	// pointers — and relay the update to our primary contact for the
+	// branch, so duplicate instances of the same group come into contact
+	// and merge (§4.2.2's merge process runs through the predecessor).
+	if pm := n.membershipWithBranch(msg.AF); pm != nil {
+		b := pm.branches[msg.AF.Key()]
+		primary, hadPrimary := b.first()
+		fresh := append([]sim.NodeID{from}, msg.Members...)
+		live := fresh[:0]
+		for _, c := range fresh {
+			if !n.suspected[c] && c != n.ID() {
+				live = append(live, c)
+			}
+		}
+		b.mergeNodes(live, n.cfg.K)
+		if hadPrimary && primary != from && !n.suspected[primary] {
+			relay := msg
+			relay.Reply = true // terminal: the receiver merges, no ping-pong
+			n.send(primary, relay)
+		}
+		return
+	}
+	// Otherwise perhaps we are a child — check whether one of our groups
+	// appears in the sender's branch list and refresh our predview.
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		mm := n.groups[key]
+		for _, b := range msg.Branches {
+			if b.AF.Key() == mm.af.Key() {
+				if len(mm.parent.Nodes) == 0 || mm.parent.AF.Key() == msg.AF.Key() {
+					// The parent group's leader stays the primary contact;
+					// mirrors and members fill the deeper K slots.
+					var contacts []sim.NodeID
+					if msg.Leader != 0 && !n.suspected[msg.Leader] {
+						contacts = append(contacts, msg.Leader)
+					}
+					contacts = append(contacts, from)
+					contacts = append(contacts, msg.CoLead...)
+					contacts = append(contacts, msg.Members...)
+					np := Branch{AF: msg.AF}
+					np.mergeNodes(contacts, n.cfg.K)
+					mm.parent = np
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// memberState tracks the lifecycle of one group membership.
+type memberState uint8
+
+const (
+	// stateJoining: a findGroup walk is in flight; retried until answered.
+	stateJoining memberState = iota + 1
+	// stateActive: the node is a settled member of the group.
+	stateActive
+)
+
+// membership is a node's participation in one semantic group — one per
+// distinct attribute filter the node subscribed with. It bundles the
+// node-local slice of the group state: role, views toward the group, the
+// predecessor and the successor branches.
+type membership struct {
+	af   filter.AttrFilter
+	subs []filter.Subscription // local subscriptions served by this group
+
+	state   memberState
+	sentAt  int64 // when the last findGroup was sent (retry timer)
+	retries int   // consecutive unanswered findGroup walks
+	// leaderlessAt starts the grace period a leader-mode member allows
+	// for a promotion announcement before re-attaching itself.
+	leaderlessAt int64
+
+	leader    sim.NodeID
+	coLeaders *view
+	members   *view              // groupview (self included)
+	parent    Branch             // predview: contacts toward the predecessor
+	branches  map[string]*Branch // succview: one entry per child group
+	isRoot    bool               // this membership hosts the tree root
+}
+
+// pendingPub is a publication buffered while its target group finishes
+// construction (the paper's blocking flag during group creation).
+type pendingPub struct {
+	msg    publishTree
+	heldAt int64
+}
+
+// Node is one DPS peer: subscriber, publisher and router at once.
+// It is driven by an engine through the sim.Process interface.
+type Node struct {
+	env sim.Env
+	cfg Config
+
+	groups  map[string]*membership // by canonical filter key
+	joining map[string]*membership // subset of groups with state joining
+
+	seen    map[EventID]int64  // notify dedup: first-receipt step
+	routed  map[routeKey]int64 // per-(event, group) routing dedup
+	rumours map[string]int64   // gossipSub forward dedup (rumour-mongering)
+	pending []pendingPub
+	hot     []hotEvent // events being re-gossiped (epidemic rounds)
+
+	lastSeen  map[sim.NodeID]int64 // liveness signal per monitored peer
+	suspected map[sim.NodeID]bool
+	nextHB    int64
+
+	onEvent   func(EventID, filter.Event) // first receipt (contacted)
+	onDeliver func(EventID, filter.Event) // matched a local subscription
+
+	// selfQ holds self-addressed protocol messages; they are dispatched
+	// after the current handler returns (inline dispatch would mutate
+	// membership state mid-iteration).
+	selfQ []any
+}
+
+var _ sim.Process = (*Node)(nil)
+
+// NewNode builds a node with the given configuration. The configuration's
+// Directory must be set.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Directory == nil {
+		return nil, errors.New("core: Config.Directory is required")
+	}
+	if cfg.Traversal != RootBased && cfg.Traversal != Generic {
+		return nil, fmt.Errorf("core: invalid traversal mode %d", cfg.Traversal)
+	}
+	if cfg.Comm != LeaderBased && cfg.Comm != Epidemic {
+		return nil, fmt.Errorf("core: invalid communication mode %d", cfg.Comm)
+	}
+	if cfg.K <= 0 || cfg.HBMin <= 0 || cfg.HBMax < cfg.HBMin {
+		return nil, errors.New("core: invalid view or heartbeat parameters")
+	}
+	return &Node{
+		cfg:       cfg,
+		groups:    make(map[string]*membership),
+		joining:   make(map[string]*membership),
+		seen:      make(map[EventID]int64),
+		routed:    make(map[routeKey]int64),
+		rumours:   make(map[string]int64),
+		lastSeen:  make(map[sim.NodeID]int64),
+		suspected: make(map[sim.NodeID]bool),
+	}, nil
+}
+
+// OnEventHook registers the contacted hook: fired on the first receipt of
+// each event, whether or not a local subscription matches.
+func (n *Node) OnEventHook(fn func(EventID, filter.Event)) { n.onEvent = fn }
+
+// OnDeliverHook registers the delivery hook: fired when a first-received
+// event matches at least one local subscription (the paper's Notify).
+func (n *Node) OnDeliverHook(fn func(EventID, filter.Event)) { n.onDeliver = fn }
+
+// Attach implements sim.Process.
+func (n *Node) Attach(env sim.Env) {
+	n.env = env
+	n.nextHB = n.hbPeriod()
+}
+
+// ID returns the node's identifier (valid after Attach).
+func (n *Node) ID() sim.NodeID { return n.env.ID() }
+
+// Memberships returns the canonical keys of the groups the node currently
+// belongs to (diagnostic/test helper).
+func (n *Node) Memberships() []string {
+	return sortedBranchKeysOfGroups(n.groups)
+}
+
+func sortedBranchKeysOfGroups(groups map[string]*membership) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Group returns the membership for the canonical key (test helper).
+func (n *Node) group(key string) *membership { return n.groups[key] }
+
+// MembershipInfo is a diagnostic snapshot of one group membership.
+type MembershipInfo struct {
+	Filter    string
+	State     string
+	IsRoot    bool
+	Leader    sim.NodeID
+	CoLeaders []sim.NodeID
+	Members   []sim.NodeID
+	Parent    []sim.NodeID
+	Branches  int
+}
+
+// Inspect returns diagnostic snapshots of every membership, keyed by
+// canonical filter key (for tools and tests; not part of the protocol).
+func (n *Node) Inspect() map[string]MembershipInfo {
+	out := make(map[string]MembershipInfo, len(n.groups))
+	for key, m := range n.groups {
+		state := "active"
+		if m.state == stateJoining {
+			state = "joining"
+		}
+		out[key] = MembershipInfo{
+			Filter:    m.af.String(),
+			State:     state,
+			IsRoot:    m.isRoot,
+			Leader:    m.leader,
+			CoLeaders: m.coLeaders.ids(),
+			Members:   m.members.ids(),
+			Parent:    append([]sim.NodeID(nil), m.parent.Nodes...),
+			Branches:  len(m.branches),
+		}
+	}
+	return out
+}
+
+// Subscriptions returns all live subscriptions of the node.
+func (n *Node) Subscriptions() []filter.Subscription {
+	var out []filter.Subscription
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		out = append(out, m.subs...)
+	}
+	return out
+}
+
+// Subscribe registers the subscription with the overlay. The node joins
+// the tree of the subscription's first attribute, at the group of its
+// attribute filter there. An unsatisfiable filter is rejected.
+func (n *Node) Subscribe(sub filter.Subscription) error {
+	filters, err := filter.SubscriptionFilters(sub)
+	if err != nil {
+		return err
+	}
+	af := filters[0]
+	if af.IsEmpty() {
+		return fmt.Errorf("core: subscription %v has an unsatisfiable filter on %q", sub, af.Attr())
+	}
+	if m, ok := n.groups[af.Key()]; ok {
+		m.subs = append(m.subs, sub)
+		return nil
+	}
+	m := &membership{
+		af:        af,
+		subs:      []filter.Subscription{sub},
+		state:     stateJoining,
+		coLeaders: newView(),
+		members:   newView(n.ID()),
+		branches:  make(map[string]*Branch),
+	}
+	n.groups[af.Key()] = m
+	n.joining[af.Key()] = m
+	n.startJoin(m)
+	return nil
+}
+
+// setActive marks a membership settled and clears its retry tracking.
+func (n *Node) setActive(m *membership) {
+	m.state = stateActive
+	m.retries = 0
+	delete(n.joining, m.af.Key())
+}
+
+// setJoining marks a membership as walking (initial join or re-attach).
+func (n *Node) setJoining(m *membership) {
+	m.state = stateJoining
+	n.joining[m.af.Key()] = m
+}
+
+// dropMembership removes a membership from all indexes.
+func (n *Node) dropMembership(key string) {
+	delete(n.groups, key)
+	delete(n.joining, key)
+}
+
+// Unsubscribe withdraws one previously registered subscription. When the
+// last subscription behind a membership goes, the node leaves the group.
+func (n *Node) Unsubscribe(sub filter.Subscription) error {
+	filters, err := filter.SubscriptionFilters(sub)
+	if err != nil {
+		return err
+	}
+	af := filters[0]
+	m, ok := n.groups[af.Key()]
+	if !ok {
+		return fmt.Errorf("core: not subscribed with filter %v", af)
+	}
+	want := sub.String()
+	found := false
+	for i, s := range m.subs {
+		if s.String() == want {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: subscription %v not found", sub)
+	}
+	if len(m.subs) == 0 {
+		n.leaveGroup(m)
+	}
+	return nil
+}
+
+// Publish injects an event into the overlay under the given id: one
+// publication per attribute tree the event touches (paper §4.1).
+func (n *Node) Publish(id EventID, ev filter.Event) error {
+	if len(ev) == 0 {
+		return errors.New("core: empty event")
+	}
+	for _, as := range ev {
+		msg := publishTree{ID: id, Event: ev, Attr: as.Attr, Mode: n.cfg.Traversal}
+		switch n.cfg.Traversal {
+		case Generic:
+			contact, ok := n.cfg.Directory.Contact(as.Attr, n.env.Rand())
+			if !ok {
+				continue // no tree: no subscriber cares about this attribute
+			}
+			msg.Up = true
+			n.sendOrLocal(contact, msg)
+		default:
+			owner, ok := n.cfg.Directory.Owner(as.Attr)
+			if !ok {
+				continue
+			}
+			msg.AF = filter.UniversalFilter(as.Attr)
+			n.sendOrLocal(owner, msg)
+		}
+	}
+	return nil
+}
+
+// OnMessage implements sim.Process.
+func (n *Node) OnMessage(from sim.NodeID, msg any) {
+	n.lastSeen[from] = n.env.Now()
+	if n.suspected[from] {
+		delete(n.suspected, from) // peer came back: stop suspecting
+	}
+	n.dispatch(from, msg)
+	n.drainSelf()
+}
+
+// dispatch routes one message to its handler.
+func (n *Node) dispatch(from sim.NodeID, msg any) {
+	switch m := msg.(type) {
+	case findGroup:
+		n.handleFindGroup(m)
+	case joinAccept:
+		n.handleJoinAccept(from, m)
+	case createGroup:
+		n.handleCreateGroup(from, m)
+	case joinNotify:
+		n.handleJoinNotify(m)
+	case gossipSub:
+		n.handleGossipSub(m)
+	case adopt:
+		n.handleAdopt(m)
+	case coLeaderUpdate:
+		n.handleCoLeaderUpdate(from, m)
+	case publishTree:
+		n.handlePublishTree(m)
+	case publishGroup:
+		n.handlePublishGroup(from, m)
+	case heartbeat:
+		// Leader-mode detection is push-based and silent on the receiving
+		// side; only epidemic probing expects an answer.
+		if n.cfg.Comm == Epidemic {
+			n.send(from, heartbeatAck{})
+		}
+	case heartbeatAck:
+		// lastSeen already refreshed above
+	case viewExchange:
+		n.handleViewExchange(from, m)
+	case leave:
+		n.handleLeave(m)
+	case branchUpdate:
+		n.handleBranchUpdate(m)
+	case rehome:
+		n.handleRehome(m)
+	case rootInvite:
+		n.handleRootInvite(m)
+	}
+}
+
+// OnTick implements sim.Process: heartbeats, suspicion checks, join
+// retries, pending-publication expiry, anti-entropy.
+func (n *Node) OnTick() {
+	now := n.env.Now()
+	if now >= n.nextHB {
+		n.heartbeatRound(now)
+		n.nextHB = now + n.hbPeriod()
+	}
+	n.retryJoins(now)
+	n.expirePending(now)
+	n.gossipHot(now)
+	n.drainSelf()
+	if n.cfg.ViewExchangePeriod > 0 && now%n.cfg.ViewExchangePeriod == int64(n.ID())%n.cfg.ViewExchangePeriod {
+		n.viewExchangeRound()
+	}
+	n.gcSeen(now)
+}
+
+// send is the single egress point. Self-addressed messages — a leader
+// that is also the tree owner updating "the parent", a co-leader
+// announcing to itself — queue locally and dispatch after the current
+// handler returns.
+func (n *Node) send(to sim.NodeID, msg any) {
+	if to == n.ID() {
+		n.selfQ = append(n.selfQ, msg)
+		return
+	}
+	n.env.Send(to, msg)
+}
+
+// drainSelf dispatches queued self-messages; handlers may queue more.
+func (n *Node) drainSelf() {
+	for len(n.selfQ) > 0 {
+		msg := n.selfQ[0]
+		n.selfQ = n.selfQ[1:]
+		n.dispatch(n.ID(), msg)
+	}
+}
+
+// sendOrLocal delivers locally when the target is self (publications may
+// enter the tree at the publisher itself).
+func (n *Node) sendOrLocal(to sim.NodeID, msg publishTree) {
+	if to == n.ID() {
+		n.handlePublishTree(msg)
+		return
+	}
+	n.env.Send(to, msg)
+}
+
+func (n *Node) hbPeriod() int64 {
+	span := n.cfg.HBMax - n.cfg.HBMin
+	if span <= 0 {
+		return n.cfg.HBMin
+	}
+	return n.cfg.HBMin + n.env.Rand().Int63n(span+1)
+}
+
+func (n *Node) gcSeen(now int64) {
+	if n.cfg.SeenTTL <= 0 || now%64 != 0 {
+		return
+	}
+	for id, at := range n.seen {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.seen, id)
+		}
+	}
+	for rk, at := range n.routed {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.routed, rk)
+		}
+	}
+	for k, at := range n.rumours {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.rumours, k)
+		}
+	}
+}
+
+// InspectBranches returns every branch this node holds across its
+// memberships, keyed by the child filter's canonical key (diagnostics).
+func (n *Node) InspectBranches() map[string][]sim.NodeID {
+	out := make(map[string][]sim.NodeID)
+	for _, m := range n.groups {
+		for key, b := range m.branches {
+			out[key] = append([]sim.NodeID(nil), b.Nodes...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// This file implements the publication scheme of §4.1/§4.2: PUBLISH walks
+// the attribute trees pruning non-matching subtrees (root-based goes only
+// down; generic also climbs toward the root), and PUBLISH GROUP diffuses
+// the event inside each matching group (leader relay or gossip).
+
+// routeKey deduplicates per-(event, group) routing work: a node may route
+// the same event for several of its groups, but exactly once per group.
+type routeKey struct {
+	id  EventID
+	key string
+}
+
+// handlePublishTree processes one tree-level hop of an event.
+func (n *Node) handlePublishTree(msg publishTree) {
+	var m *membership
+	if !msg.AF.IsZero() {
+		var ok bool
+		m, ok = n.groups[msg.AF.Key()]
+		if !ok || m.state != stateActive {
+			// Group construction may still be in flight (the paper blocks
+			// event propagation while a successor group is being set up):
+			// hold the publication until the membership settles.
+			n.pending = append(n.pending, pendingPub{msg: msg, heldAt: n.env.Now()})
+			return
+		}
+	} else {
+		// Generic entry at an arbitrary contact: route via any active
+		// membership in the event's tree.
+		m = n.activeMembershipIn(msg.Attr)
+		if m == nil {
+			return
+		}
+		msg.AF = m.af
+	}
+	n.routeEvent(m, msg)
+}
+
+// activeMembershipIn returns a deterministic active membership in the
+// tree of attr, or nil.
+func (n *Node) activeMembershipIn(attr string) *membership {
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if m.af.Attr() == attr && m.state == stateActive {
+			return m
+		}
+	}
+	return nil
+}
+
+// routeEvent applies the traversal rules at membership m.
+func (n *Node) routeEvent(m *membership, msg publishTree) {
+	v, ok := msg.Event.Value(m.af.Attr())
+	if !ok {
+		return
+	}
+	rk := routeKey{id: msg.ID, key: m.af.Key()}
+	_, done := n.routed[rk]
+	first := !done
+	if first {
+		n.routed[rk] = n.env.Now()
+	}
+	if !m.af.Matches(v) {
+		// Generic upward pass: a non-matching group still relays toward
+		// the root ("if the event does not match the group predicate, it
+		// still has to be forwarded upstream to the predecessor").
+		if msg.Mode == Generic && msg.Up && first {
+			n.forwardUp(m, msg)
+		}
+		return
+	}
+	// The root group's members are routing relays (the owner plus
+	// co-owners), not subscribers of ⊤: the entry point counts as
+	// contacted, but events are not diffused to the mirrors. A mirror
+	// hands routing to the live owner (whose branch table is
+	// authoritative) and only routes from its own table as failover.
+	if m.isRoot {
+		if !m.isLeaderHere(n.ID()) && first {
+			if relay, okR := n.groupRelay(m); okR {
+				fwd := msg
+				fwd.AF = m.af
+				n.send(relay, fwd)
+				return
+			}
+		}
+		if m.isLeaderHere(n.ID()) {
+			n.notifyLocal(msg.ID, msg.Event)
+		}
+		if first {
+			n.forwardDown(m, msg, v)
+		}
+		return
+	}
+	n.notifyLocal(msg.ID, msg.Event)
+	if !first {
+		return
+	}
+	// Leader mode: tree-level routing belongs to the leader — a regular
+	// member holds no succview. Hand the whole message over ("an event
+	// received by a group is always redirected to the group leader").
+	if n.cfg.Comm == LeaderBased && !m.isLeaderHere(n.ID()) {
+		if relay, ok := n.groupRelay(m); ok {
+			fwd := msg
+			fwd.AF = m.af
+			n.send(relay, fwd)
+			return
+		}
+		// No live leadership known: best effort with what we have.
+	}
+	n.diffuseInGroup(m, msg.ID, msg.Event, 0, true)
+	n.forwardDown(m, msg, v)
+	if msg.Mode == Generic && msg.Up {
+		n.forwardUp(m, msg)
+	}
+}
+
+// groupRelay picks the live leader (or first live co-leader) to hand
+// tree-level work to; false when none is known alive or we should act
+// ourselves.
+func (n *Node) groupRelay(m *membership) (sim.NodeID, bool) {
+	if m.leader != 0 && m.leader != n.ID() && !n.suspected[m.leader] {
+		return m.leader, true
+	}
+	if m.coLeaders.has(n.ID()) {
+		return 0, false // we hold the full view: act in the leader's stead
+	}
+	for _, cl := range m.coLeaders.ids() {
+		if cl != n.ID() && !n.suspected[cl] {
+			return cl, true
+		}
+	}
+	return 0, false
+}
+
+// forwardDown sends the event into every child branch whose filter matches
+// the published value, skipping the branch the event came from.
+func (n *Node) forwardDown(m *membership, msg publishTree, v filter.Value) {
+	for _, k := range sortedBranchKeys(m.branches) {
+		b := m.branches[k]
+		if !b.AF.Matches(v) {
+			continue // prune the whole subtree (Def. 4 guarantees safety)
+		}
+		if msg.Up && !msg.FromAF.IsZero() && b.AF.Key() == msg.FromAF.Key() {
+			continue // came up from there
+		}
+		down := publishTree{ID: msg.ID, Event: msg.Event, Attr: msg.Attr,
+			Mode: msg.Mode, AF: b.AF}
+		for _, c := range n.branchContacts(b) {
+			if c == n.ID() {
+				n.handlePublishTree(down)
+				continue
+			}
+			n.send(c, down)
+		}
+	}
+}
+
+// forwardUp relays the event to the predecessor group (generic mode).
+func (n *Node) forwardUp(m *membership, msg publishTree) {
+	if m.isRoot || len(m.parent.Nodes) == 0 {
+		return
+	}
+	up := publishTree{ID: msg.ID, Event: msg.Event, Attr: msg.Attr,
+		Mode: msg.Mode, AF: m.parent.AF, Up: true, FromAF: m.af}
+	targets := make([]sim.NodeID, 0, n.crossFanout())
+	for _, c := range m.parent.Nodes {
+		if n.suspected[c] {
+			continue
+		}
+		targets = append(targets, c)
+		if len(targets) == n.crossFanout() {
+			break
+		}
+	}
+	if len(targets) == 0 && len(m.parent.Nodes) > 0 {
+		targets = m.parent.Nodes[:1] // all suspected: try anyway
+	}
+	for _, c := range targets {
+		if c == n.ID() {
+			n.handlePublishTree(up)
+			continue
+		}
+		n.send(c, up)
+	}
+}
+
+// branchContacts returns the contacts addressed per tree edge: one in
+// leader mode (the child leader; suspicion moves to the next), k' in
+// epidemic mode.
+func (n *Node) branchContacts(b *Branch) []sim.NodeID {
+	k := n.crossFanout()
+	out := make([]sim.NodeID, 0, k)
+	for _, c := range b.Nodes {
+		if n.suspected[c] {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == k {
+			return out
+		}
+	}
+	if len(out) == 0 && len(b.Nodes) > 0 {
+		out = append(out, b.Nodes[0]) // all suspected: try anyway
+	}
+	return out
+}
+
+func (n *Node) crossFanout() int {
+	if n.cfg.Comm == Epidemic && n.cfg.CrossFanout > 1 {
+		return n.cfg.CrossFanout
+	}
+	return 1
+}
+
+// diffuseInGroup spreads the event to the members of m (PUBLISH GROUP).
+// treeLevel marks diffusion started by a tree-level receipt.
+func (n *Node) diffuseInGroup(m *membership, id EventID, ev filter.Event, hops int, treeLevel bool) {
+	switch n.cfg.Comm {
+	case Epidemic:
+		p := pow(n.cfg.ForwardDecay, hops)
+		if hops > 0 && n.env.Rand().Float64() >= p {
+			return
+		}
+		msg := publishGroup{ID: id, Event: ev, AF: m.af, Hops: hops + 1}
+		for _, peer := range m.members.sample(n.env.Rand(), n.cfg.Fanout, n.ID()) {
+			n.send(peer, msg)
+		}
+		n.scheduleHot(m, id, ev)
+	default:
+		if m.isLeaderHere(n.ID()) {
+			msg := publishGroup{ID: id, Event: ev, AF: m.af, Hops: 1}
+			for _, peer := range m.members.ids() {
+				if peer != n.ID() {
+					n.send(peer, msg)
+				}
+			}
+			return
+		}
+		// Not the leader: redirect once ("an event received by a group is
+		// always redirected to the group leader"). Co-leaders step in when
+		// the leader is suspected.
+		if treeLevel {
+			target := m.leader
+			if target == 0 || n.suspected[target] {
+				if m.coLeaders.has(n.ID()) || m.leader == 0 {
+					// Act as relay ourselves: we hold the full view.
+					msg := publishGroup{ID: id, Event: ev, AF: m.af, Hops: 1}
+					for _, peer := range m.members.ids() {
+						if peer != n.ID() {
+							n.send(peer, msg)
+						}
+					}
+					return
+				}
+				if cl, ok := m.coLeaders.first(); ok {
+					target = cl
+				}
+			}
+			if target != 0 && target != n.ID() {
+				n.send(target, publishGroup{ID: id, Event: ev, AF: m.af, Hops: 0})
+			}
+		}
+	}
+}
+
+// handlePublishGroup processes intra-group event traffic.
+func (n *Node) handlePublishGroup(from sim.NodeID, msg publishGroup) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok || m.state != stateActive {
+		return
+	}
+	n.notifyLocal(msg.ID, msg.Event)
+	switch n.cfg.Comm {
+	case Epidemic:
+		rk := routeKey{id: msg.ID, key: m.af.Key()}
+		if _, done := n.routed[rk]; done {
+			return
+		}
+		n.routed[rk] = n.env.Now()
+		n.diffuseInGroup(m, msg.ID, msg.Event, msg.Hops, false)
+		// Epidemic members also push the event across tree edges,
+		// providing the cross-group redundancy of §4.2.2.
+		if v, okV := msg.Event.Value(m.af.Attr()); okV {
+			n.forwardDown(m, publishTree{ID: msg.ID, Event: msg.Event,
+				Attr: m.af.Attr(), Mode: n.cfg.Traversal, AF: m.af}, v)
+		}
+	default:
+		if msg.Hops == 0 && m.isLeaderHere(n.ID()) {
+			// A member redirected the event to us: fan out.
+			out := publishGroup{ID: msg.ID, Event: msg.Event, AF: m.af, Hops: 1}
+			for _, peer := range m.members.ids() {
+				if peer != n.ID() && peer != from {
+					n.send(peer, out)
+				}
+			}
+		}
+	}
+}
+
+// notifyLocal fires the contacted/delivered hooks exactly once per event.
+func (n *Node) notifyLocal(id EventID, ev filter.Event) {
+	if _, dup := n.seen[id]; dup {
+		return
+	}
+	n.seen[id] = n.env.Now()
+	if n.onEvent != nil {
+		n.onEvent(id, ev)
+	}
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		for _, sub := range n.groups[key].subs {
+			if sub.Matches(ev) {
+				if n.onDeliver != nil {
+					n.onDeliver(id, ev)
+				}
+				return
+			}
+		}
+	}
+}
+
+// flushPending replays publications that were waiting for m to settle.
+func (n *Node) flushPending(m *membership) {
+	if len(n.pending) == 0 {
+		return
+	}
+	kept := n.pending[:0]
+	var replay []publishTree
+	for _, p := range n.pending {
+		if !p.msg.AF.IsZero() && p.msg.AF.Key() == m.af.Key() {
+			replay = append(replay, p.msg)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	n.pending = kept
+	for _, msg := range replay {
+		n.handlePublishTree(msg)
+	}
+}
+
+// expirePending drops publications whose target group never settled.
+func (n *Node) expirePending(now int64) {
+	if len(n.pending) == 0 || n.cfg.PendingTTL <= 0 {
+		return
+	}
+	kept := n.pending[:0]
+	for _, p := range n.pending {
+		if now-p.heldAt <= n.cfg.PendingTTL {
+			kept = append(kept, p)
+		}
+	}
+	n.pending = kept
+}
+
+// hotEvent is an event a member keeps re-offering for a few gossip rounds
+// (epidemic mode), the bimodal-multicast behaviour behind the paper's
+// "high probabilistic guarantees of delivery".
+type hotEvent struct {
+	id     EventID
+	ev     filter.Event
+	afKey  string
+	round  int
+	nextAt int64
+}
+
+// gossipHot runs due re-gossip rounds.
+func (n *Node) gossipHot(now int64) {
+	if n.cfg.Comm != Epidemic || len(n.hot) == 0 {
+		return
+	}
+	kept := n.hot[:0]
+	for _, h := range n.hot {
+		if now < h.nextAt {
+			kept = append(kept, h)
+			continue
+		}
+		m, ok := n.groups[h.afKey]
+		if !ok || m.state != stateActive {
+			continue // left the group: stop offering
+		}
+		msg := publishGroup{ID: h.id, Event: h.ev, AF: m.af, Hops: h.round}
+		for _, peer := range m.members.sample(n.env.Rand(), n.cfg.Fanout, n.ID()) {
+			n.send(peer, msg)
+		}
+		h.round++
+		h.nextAt = now + 2
+		if h.round < n.cfg.GossipRounds {
+			kept = append(kept, h)
+		}
+	}
+	n.hot = kept
+}
+
+// scheduleHot registers an event for re-gossip rounds.
+func (n *Node) scheduleHot(m *membership, id EventID, ev filter.Event) {
+	if n.cfg.Comm != Epidemic || n.cfg.GossipRounds <= 1 {
+		return
+	}
+	n.hot = append(n.hot, hotEvent{
+		id: id, ev: ev, afKey: m.af.Key(), round: 1, nextAt: n.env.Now() + 2,
+	})
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// lossyCluster builds a cluster whose engine drops messages at the given
+// rate — exercising the protocol's retry and anti-entropy paths.
+func lossyCluster(t *testing.T, n int, loss float64, mutate func(*Config)) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:         t,
+		dir:       NewSharedDirectory(),
+		nodes:     make(map[sim.NodeID]*Node, n),
+		contacted: make(map[EventID]map[sim.NodeID]bool),
+		delivered: make(map[EventID]map[sim.NodeID]bool),
+	}
+	c.engine = sim.NewEngine(sim.Config{Seed: 7, LossRate: loss})
+	for i := 1; i <= n; i++ {
+		c.addNode(sim.NodeID(i), mutate)
+	}
+	return c
+}
+
+// TestEpidemicUnderMessageLoss: gossip redundancy must deliver through a
+// lossy network where single-path routing would often fail.
+func TestEpidemicUnderMessageLoss(t *testing.T) {
+	c := lossyCluster(t, 10, 0.10, func(cfg *Config) {
+		cfg.Comm = Epidemic
+		cfg.Fanout = 2
+		cfg.CrossFanout = 2
+		cfg.SubFanout = 3
+	})
+	for id := sim.NodeID(1); id <= 10; id++ {
+		c.subscribe(id, "a>2")
+		c.settle(10)
+	}
+	c.settle(100)
+	var expected, delivered int
+	for i := 0; i < 10; i++ {
+		evID := c.publish(1, "a=10")
+		c.settle(40)
+		for id := sim.NodeID(1); id <= 10; id++ {
+			expected++
+			if c.delivered[evID][id] {
+				delivered++
+			}
+		}
+	}
+	if ratio := float64(delivered) / float64(expected); ratio < 0.85 {
+		t.Errorf("delivery ratio %.2f under 10%% loss, want ≥ 0.85", ratio)
+	}
+}
+
+// TestGenericWalkFromLeaf: a generic-mode subscription entering at a deep
+// contact must climb to the root and settle in the right place.
+func TestGenericWalkFromLeaf(t *testing.T) {
+	c := newCluster(t, 4, func(cfg *Config) { cfg.Traversal = Generic })
+	c.subscribe(1, "a>0 && a<100")
+	c.settle(10)
+	c.subscribe(2, "a>10 && a<50")
+	c.settle(10)
+	c.subscribe(3, "a>20 && a<30") // deep leaf
+	c.settle(20)
+	// Node 4's filter belongs at the top level; whatever contact its walk
+	// entered at, it must end up under the root, not under a leaf.
+	c.subscribe(4, "a>500")
+	c.settle(40)
+	evID := c.publish(1, "a=600")
+	c.settle(30)
+	if !c.delivered[evID][4] {
+		t.Fatal("top-level subscriber missed its event after a generic walk")
+	}
+	evID2 := c.publish(4, "a=25")
+	c.settle(30)
+	for _, want := range []sim.NodeID{1, 2, 3} {
+		if !c.delivered[evID2][want] {
+			t.Errorf("nested subscriber %d missed a=25", want)
+		}
+	}
+}
+
+// TestDuplicateGroupMerge: two nodes racing to create the same group end up
+// in one instance with one leader after the merge machinery runs.
+func TestDuplicateGroupMerge(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.subscribe(1, "a>0") // owner + top group
+	c.settle(10)
+	// Nodes 2 and 3 subscribe the same filter in the same step: their
+	// walks race and may both CREATE.
+	c.subscribe(2, "a>10 && a<20")
+	c.subscribe(3, "a>10 && a<20")
+	c.settle(200) // probes + merges converge
+	key := filter.MustAttrFilter("a", filter.Gt("a", 10), filter.Lt("a", 20)).Key()
+	leaders := map[sim.NodeID]bool{}
+	for id, node := range c.nodes {
+		_ = id
+		if m := node.group(key); m != nil {
+			leaders[m.leader] = true
+		}
+	}
+	if len(leaders) != 1 {
+		t.Fatalf("group has %d distinct leaders after merge: %v", len(leaders), leaders)
+	}
+	evID := c.publish(1, "a=15")
+	c.settle(30)
+	if !c.delivered[evID][2] || !c.delivered[evID][3] {
+		t.Errorf("merged group missed delivery: %v", c.delivered[evID])
+	}
+}
+
+// TestCoOwnerTakesOverTree: kill the owner; a co-owner must claim the tree
+// and keep routing, repeatedly (chained owner deaths).
+func TestCoOwnerTakesOverTree(t *testing.T) {
+	c := newCluster(t, 6, nil)
+	for id := sim.NodeID(1); id <= 6; id++ {
+		c.subscribe(id, "a>2 && a<100")
+		c.settle(8)
+	}
+	c.settle(60)
+	for round := 0; round < 2; round++ {
+		owner, ok := c.dir.Owner("a")
+		if !ok {
+			t.Fatal("no owner")
+		}
+		c.engine.Kill(owner)
+		c.settle(600)
+		newOwner, ok := c.dir.Owner("a")
+		if !ok || !c.engine.Alive(newOwner) {
+			t.Fatalf("round %d: ownership not reclaimed (owner=%d)", round, newOwner)
+		}
+		var publisher sim.NodeID
+		for id := sim.NodeID(1); id <= 6; id++ {
+			if c.engine.Alive(id) {
+				publisher = id
+				break
+			}
+		}
+		evID := c.publish(publisher, "a=50")
+		c.settle(40)
+		for id := sim.NodeID(1); id <= 6; id++ {
+			if c.engine.Alive(id) && !c.delivered[evID][id] {
+				t.Errorf("round %d: survivor %d missed the event", round, id)
+			}
+		}
+	}
+}
+
+// TestChurnConvergenceProperty: random churn followed by calm must leave an
+// overlay that routes fresh events to at least 90% of matching pairs.
+func TestChurnConvergenceProperty(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.name, func(t *testing.T) {
+			c := newCluster(t, 30, func(cfg *Config) {
+				cfg.Traversal = mode.trav
+				cfg.Comm = mode.comm
+				cfg.Fanout = 2
+				cfg.CrossFanout = 2
+			})
+			rng := rand.New(rand.NewSource(5))
+			subsOf := map[sim.NodeID]filter.Subscription{}
+			for id := sim.NodeID(1); id <= 30; id++ {
+				lo := int64(rng.Intn(50)) * 10
+				text := filter.MustSubscription(
+					filter.Gt("a", lo), filter.Lt("a", lo+300))
+				subsOf[id] = text
+				if err := c.nodes[id].Subscribe(text); err != nil {
+					t.Fatal(err)
+				}
+				c.settle(4)
+			}
+			c.settle(60)
+			// Churn: kill 8 random nodes over 160 steps.
+			for i := 0; i < 8; i++ {
+				ids := c.engine.AliveIDs()
+				c.engine.Kill(ids[rng.Intn(len(ids))])
+				c.settle(20)
+			}
+			c.settle(250) // heal
+			var expected, delivered int
+			for i := 0; i < 10; i++ {
+				v := int64(rng.Intn(800))
+				ev := filter.MustEvent(filter.Assignment{Attr: "a", Val: filter.IntValue(v)})
+				var publisher sim.NodeID
+				for _, id := range c.engine.AliveIDs() {
+					publisher = id
+					break
+				}
+				c.nextEvent++
+				evID := c.nextEvent
+				if err := c.nodes[publisher].Publish(evID, ev); err != nil {
+					t.Fatal(err)
+				}
+				c.settle(30)
+				for id, sub := range subsOf {
+					if !c.engine.Alive(id) || !sub.Matches(ev) {
+						continue
+					}
+					expected++
+					if c.delivered[evID][id] {
+						delivered++
+					}
+				}
+			}
+			if expected == 0 {
+				t.Skip("no matching pairs drawn")
+			}
+			ratio := float64(delivered) / float64(expected)
+			if ratio < 0.9 {
+				t.Errorf("post-churn fresh delivery %.2f (%d/%d), want ≥ 0.9",
+					ratio, delivered, expected)
+			}
+		})
+	}
+}

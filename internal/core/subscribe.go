@@ -1,0 +1,832 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// This file implements the subscription scheme of §4.1: the FIND GROUP
+// walk locating a subscription's position in its attribute tree, and the
+// SUBSCRIBE TO / CREATE GROUP answers, in both leader-based and epidemic
+// flavours, for both root-based and generic traversal.
+
+// startJoin kicks off (or retries) the findGroup walk for a joining
+// membership. If the attribute has no tree yet, the subscriber claims
+// ownership and becomes the root.
+func (n *Node) startJoin(m *membership) {
+	m.sentAt = n.env.Now()
+	m.retries++
+	attr := m.af.Attr()
+	owner, ok := n.cfg.Directory.Owner(attr)
+	if !ok {
+		owner = n.cfg.Directory.ClaimOwner(attr, n.ID())
+	}
+	// Liveness escalation: a walk that keeps going unanswered points at a
+	// dead owner nobody with a mirror survived to replace. Claim the tree
+	// ourselves rather than retrying into the void forever.
+	if owner != n.ID() && (n.suspected[owner] || m.retries > 5) {
+		n.cfg.Directory.ReplaceOwner(attr, n.ID())
+		owner = n.ID()
+	}
+	if owner == n.ID() {
+		n.ensureRoot(attr)
+		n.localFindGroup(findGroup{AF: m.af, Subscriber: n.ID(), Mode: n.cfg.Traversal})
+		return
+	}
+	msg := findGroup{AF: m.af, Subscriber: n.ID(), Mode: n.cfg.Traversal}
+	switch n.cfg.Traversal {
+	case Generic:
+		if contact, okc := n.cfg.Directory.Contact(attr, n.env.Rand()); okc {
+			n.send(contact, msg)
+			return
+		}
+		n.send(owner, msg)
+	default:
+		n.send(owner, msg)
+	}
+}
+
+// ensureRoot creates the root membership for an attribute this node owns.
+func (n *Node) ensureRoot(attr string) *membership {
+	af := filter.UniversalFilter(attr)
+	if m, ok := n.groups[af.Key()]; ok {
+		return m
+	}
+	m := &membership{
+		af:        af,
+		state:     stateActive,
+		leader:    n.ID(),
+		coLeaders: newView(),
+		members:   newView(n.ID()),
+		branches:  make(map[string]*Branch),
+		isRoot:    true,
+	}
+	n.groups[af.Key()] = m
+	n.cfg.Directory.AddContact(attr, n.ID())
+	return m
+}
+
+// retryJoins re-issues findGroup walks that have gone unanswered — lost to
+// crashed handlers or to in-flight reconfiguration.
+func (n *Node) retryJoins(now int64) {
+	if len(n.joining) == 0 {
+		return
+	}
+	const retryAfter = 30
+	keys := make([]string, 0, len(n.joining))
+	for k := range n.joining {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		m := n.joining[key]
+		if now-m.sentAt >= retryAfter {
+			n.startJoin(m)
+		}
+	}
+}
+
+// handleFindGroup processes one step of the walk at this node.
+func (n *Node) handleFindGroup(f findGroup) {
+	var m *membership
+	if !f.At.IsZero() {
+		if tm, ok := n.groups[f.At.Key()]; ok {
+			switch {
+			case tm.state == stateActive:
+				m = tm
+			case f.Subscriber != n.ID() && tm.af.SameExtension(f.AF):
+				// Two nodes re-attaching to the same group can bounce
+				// walks off each other forever (each is the other's only
+				// contact and joining members cannot accept). Resolve
+				// deterministically: forward to a live third-party leader
+				// if one is known, else the lowest id self-anchors and
+				// accepts the other.
+				if tm.leader != 0 && tm.leader != n.ID() && tm.leader != f.Subscriber &&
+					!n.suspected[tm.leader] {
+					f.Hops++
+					n.send(tm.leader, f)
+					return
+				}
+				if n.ID() < f.Subscriber {
+					n.setActive(tm)
+					if n.cfg.Comm == LeaderBased {
+						tm.leader = n.ID()
+						tm.leaderlessAt = 0
+					}
+					m = tm
+				}
+			}
+		}
+	}
+	if m == nil {
+		m = n.walkMembership(f)
+	}
+	if m == nil {
+		// Nothing useful here (stale contact): restart from the owner if
+		// we know it, otherwise drop — the subscriber's retry timer covers
+		// us.
+		if owner, ok := n.cfg.Directory.Owner(f.AF.Attr()); ok && owner != n.ID() && f.Hops < 64 {
+			f.Hops++
+			f.At = filter.AttrFilter{}
+			n.send(owner, f)
+		}
+		return
+	}
+	n.walkFrom(m, f)
+}
+
+// localFindGroup runs the walk starting at one of this node's own
+// memberships (tree owners and re-walks).
+func (n *Node) localFindGroup(f findGroup) {
+	n.handleFindGroup(f)
+}
+
+// walkMembership picks the membership that should process the walk step.
+func (n *Node) walkMembership(f findGroup) *membership {
+	attr := f.AF.Attr()
+	// Prefer the root membership if we host it.
+	if m, ok := n.groups[filter.UniversalFilter(attr).Key()]; ok {
+		return m
+	}
+	// Otherwise any active membership in that tree (generic traversal may
+	// land anywhere; deterministic pick for reproducibility).
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if m.af.Attr() == attr && m.state == stateActive {
+			return m
+		}
+	}
+	return nil
+}
+
+// walkFrom advances the walk from membership m, possibly recursing locally
+// when the next hop is this same node.
+func (n *Node) walkFrom(m *membership, f findGroup) {
+	if f.Hops > 128 {
+		return // defensive bound; the subscriber will retry
+	}
+	// Leader mode: group decisions belong to the leader.
+	if n.cfg.Comm == LeaderBased && !m.isLeaderHere(n.ID()) && m.leader != 0 && !n.suspected[m.leader] {
+		f.Hops++
+		f.At = m.af
+		n.send(m.leader, f)
+		return
+	}
+	if m.isRoot {
+		n.maybeRecruitCoOwner(m, f.Subscriber)
+	}
+	switch {
+	case m.af.SameExtension(f.AF):
+		n.acceptMember(m, f.Subscriber, f.AF)
+	default:
+		if next, nextAF, ok := n.routeDown(m, f); ok {
+			f.Hops++
+			f.At = nextAF
+			if next == n.ID() {
+				n.handleFindGroup(f)
+				return
+			}
+			n.send(next, f)
+			return
+		}
+		if m.af.IsUniversal() || m.af.StrictlyIncludes(f.AF) {
+			if f.Probe {
+				// The prober sits where the walk says it should: just make
+				// sure the branch entry exists (it may have been lost to
+				// healing), never create a second instance.
+				if _, okB := m.branches[f.AF.Key()]; !okB {
+					m.branches[f.AF.Key()] = &Branch{AF: f.AF, Nodes: []sim.NodeID{f.Subscriber}}
+				}
+				return
+			}
+			n.createChild(m, f)
+			return
+		}
+		// Generic traversal: the target is not below us — go up.
+		if up, ok := m.parent.first(); ok {
+			f.Hops++
+			f.At = m.parent.AF
+			if up == n.ID() {
+				n.handleFindGroup(f)
+				return
+			}
+			n.send(up, f)
+			return
+		}
+		// No parent known (orphaned): restart at the owner.
+		if owner, ok := n.cfg.Directory.Owner(f.AF.Attr()); ok && owner != n.ID() {
+			f.Hops++
+			f.At = filter.AttrFilter{}
+			n.send(owner, f)
+		}
+	}
+}
+
+// routeDown finds the deterministic child branch the walk descends into:
+// first (in canonical key order) a branch with the same extension, then a
+// branch strictly including the filter. Contacts that are suspected dead
+// or are the walking subscriber itself are unusable; a branch with no
+// usable contact is skipped, letting the walk stop at the current group —
+// a re-attaching subscriber then re-anchors its existing group here via
+// CREATE GROUP, which overwrites the stale branch entry.
+func (n *Node) routeDown(m *membership, f findGroup) (sim.NodeID, filter.AttrFilter, bool) {
+	keys := sortedBranchKeys(m.branches)
+	for _, k := range keys {
+		b := m.branches[k]
+		if b.AF.SameExtension(f.AF) {
+			if c := n.liveContact(b, f.Subscriber); c != 0 {
+				return c, b.AF, true
+			}
+		}
+	}
+	for _, k := range keys {
+		b := m.branches[k]
+		if b.AF.StrictlyIncludes(f.AF) {
+			if c := n.liveContact(b, f.Subscriber); c != 0 {
+				return c, b.AF, true
+			}
+		}
+	}
+	return 0, filter.AttrFilter{}, false
+}
+
+// liveContact returns the first usable contact of a branch, or 0.
+func (n *Node) liveContact(b *Branch, exclude sim.NodeID) sim.NodeID {
+	for _, c := range b.Nodes {
+		if c != exclude && !n.suspected[c] {
+			return c
+		}
+	}
+	return 0
+}
+
+// acceptMember adds the subscriber to this group and answers SUBSCRIBE TO.
+func (n *Node) acceptMember(m *membership, sub sim.NodeID, wanted filter.AttrFilter) {
+	if sub == n.ID() {
+		// Self-joins happen when the wanted filter has the same extension
+		// as a group we already belong to (string filters can differ
+		// syntactically): merge the pending membership into the settled
+		// one.
+		if wanted.Key() != m.af.Key() {
+			if jm, ok := n.groups[wanted.Key()]; ok && jm != m {
+				m.subs = append(m.subs, jm.subs...)
+				n.dropMembership(wanted.Key())
+			}
+		}
+		n.setActive(m)
+		return
+	}
+	isNew := m.members.add(sub)
+	if n.cfg.Comm == Epidemic {
+		m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
+	}
+	// Promote early joiners to co-leaders (leader mode: "the first Kc
+	// nodes that joined the group directly after the leader").
+	becameCoLeader := false
+	if n.cfg.Comm == LeaderBased && m.isLeaderHere(n.ID()) && isNew &&
+		m.coLeaders.len() < n.cfg.Kc {
+		m.coLeaders.add(sub)
+		becameCoLeader = true
+	}
+	acc := joinAccept{
+		AF:        m.af,
+		Wanted:    wanted,
+		Leader:    m.leader,
+		CoLeaders: m.coLeaders.ids(),
+		Parent:    cloneBranch(m.parent),
+	}
+	switch {
+	case n.cfg.Comm == Epidemic:
+		acc.Leader = 0
+		acc.Members = n.memberSample(m)
+	case becameCoLeader:
+		// Co-leaders mirror the whole groupview (paper §4.2.1).
+		acc.Members = m.members.ids()
+	default:
+		// Regular members only track the leader and co-leaders.
+		acc.Members = append([]sim.NodeID{m.leader}, m.coLeaders.ids()...)
+	}
+	n.send(sub, acc)
+	if !isNew {
+		return
+	}
+	switch n.cfg.Comm {
+	case Epidemic:
+		n.gossipMembership(m, gossipSub{AF: m.af, Member: sub})
+	default:
+		// The leader informs co-leaders (they mirror the full groupview).
+		for _, cl := range m.coLeaders.ids() {
+			if cl != sub {
+				n.send(cl, joinNotify{AF: m.af, Member: sub})
+			}
+		}
+		if becameCoLeader {
+			n.broadcastCoLeaders(m)
+			// The parent's branch entry for us can now carry K contacts.
+			contacts := append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...)
+			for _, p := range m.parent.Nodes {
+				n.send(p, branchUpdate{Parent: m.parent.AF,
+					Child: Branch{AF: m.af, Nodes: contacts}})
+			}
+		}
+	}
+}
+
+// memberSample returns the membership list shipped in epidemic join
+// answers and view exchanges: a bounded sample of the partial view.
+func (n *Node) memberSample(m *membership) []sim.NodeID {
+	if n.cfg.Comm == Epidemic {
+		s := m.members.sample(n.env.Rand(), n.cfg.GroupViewSize)
+		if len(s) == 0 {
+			s = []sim.NodeID{n.ID()}
+		}
+		return s
+	}
+	return m.members.ids()
+}
+
+// createChild makes this group the designated predecessor Gm of the new
+// filter: former child branches now covered by the new group are adopted
+// by it (CREATE GROUP).
+func (n *Node) createChild(m *membership, f findGroup) {
+	var adopted []Branch
+	for _, k := range sortedBranchKeys(m.branches) {
+		b := m.branches[k]
+		if f.AF.StrictlyIncludes(b.AF) {
+			adopted = append(adopted, cloneBranch(*b))
+			delete(m.branches, k)
+		}
+	}
+	m.branches[f.AF.Key()] = &Branch{AF: f.AF, Nodes: []sim.NodeID{f.Subscriber}}
+	parentContacts := append([]sim.NodeID{n.ID()}, m.coLeaders.headAfter(n.cfg.K-1)...)
+	msg := createGroup{
+		AF:      f.AF,
+		Parent:  Branch{AF: m.af, Nodes: parentContacts},
+		Adopted: adopted,
+	}
+	n.maybeRecruitCoOwner(m, f.Subscriber)
+	if f.Subscriber == n.ID() {
+		n.handleCreateGroup(n.ID(), msg)
+		return
+	}
+	n.send(f.Subscriber, msg)
+}
+
+// maybeRecruitCoOwner enlists early subscribers of a tree as co-owners:
+// mirrors of the root group that keep routing and ownership alive when the
+// owner crashes. The root of a DPS tree is a group like any other; a
+// singleton root would be a single point of failure for generic
+// up-routing.
+func (n *Node) maybeRecruitCoOwner(m *membership, sub sim.NodeID) {
+	if !m.isRoot || n.cfg.Comm != LeaderBased || !m.isLeaderHere(n.ID()) ||
+		sub == n.ID() || m.coLeaders.has(sub) || m.coLeaders.len() >= n.cfg.Kc {
+		return
+	}
+	m.coLeaders.add(sub)
+	m.members.add(sub)
+	n.send(sub, rootInvite{
+		Attr:      m.af.Attr(),
+		Leader:    n.ID(),
+		CoLeaders: m.coLeaders.ids(),
+		Members:   m.members.ids(),
+		Branches:  branchList(m.branches),
+	})
+}
+
+// handleRootInvite installs a co-owner mirror of the tree root.
+func (n *Node) handleRootInvite(msg rootInvite) {
+	af := filter.UniversalFilter(msg.Attr)
+	m, ok := n.groups[af.Key()]
+	if !ok {
+		m = &membership{
+			af:        af,
+			state:     stateActive,
+			coLeaders: newView(),
+			members:   newView(n.ID()),
+			branches:  make(map[string]*Branch),
+			isRoot:    true,
+		}
+		n.groups[af.Key()] = m
+	}
+	m.leader = msg.Leader
+	m.leaderlessAt = 0
+	m.coLeaders = newView(msg.CoLeaders...)
+	for _, id := range msg.Members {
+		m.members.add(id)
+	}
+	for _, b := range msg.Branches {
+		if _, dup := m.branches[b.AF.Key()]; !dup {
+			nb := cloneBranch(b)
+			m.branches[b.AF.Key()] = &nb
+		}
+	}
+}
+
+// handleCreateGroup installs this node as the founding member (and leader)
+// of a new group.
+func (n *Node) handleCreateGroup(from sim.NodeID, msg createGroup) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		// We no longer want this group (raced unsubscribe): dissolve it
+		// right back so the parent does not keep a dangling branch.
+		n.send(from, leave{AF: msg.AF, Member: n.ID(), Branches: msg.Adopted})
+		return
+	}
+	n.setActive(m)
+	m.leader = n.ID()
+	m.leaderlessAt = 0
+	if n.cfg.Comm == Epidemic {
+		m.leader = 0
+	}
+	m.parent = msg.Parent
+	for _, b := range msg.Adopted {
+		nb := cloneBranch(b)
+		m.branches[b.AF.Key()] = &nb
+		// Tell the adopted groups about their new predecessor.
+		np := Branch{AF: m.af, Nodes: []sim.NodeID{n.ID()}}
+		for _, c := range b.Nodes {
+			n.send(c, adopt{AF: b.AF, NewParent: np})
+		}
+	}
+	n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
+	n.flushPending(m)
+}
+
+// handleJoinAccept finalises a SUBSCRIBE TO.
+func (n *Node) handleJoinAccept(from sim.NodeID, msg joinAccept) {
+	m, ok := n.groups[msg.AF.Key()]
+	if ok && m.state == stateActive && n.cfg.Comm == LeaderBased &&
+		m.isLeaderHere(n.ID()) && msg.Leader != 0 && msg.Leader != n.ID() {
+		// A probe (or duplicate join) found another instance of our group.
+		// Leadership resolves by lowest id — the same total order the
+		// view-exchange merge uses, so two instances can never demote into
+		// each other.
+		if msg.Leader < n.ID() {
+			n.demoteInto(m, msg.Leader, msg.CoLeaders)
+		} else {
+			n.send(msg.Leader, viewExchange{
+				AF:       m.af,
+				Members:  m.members.ids(),
+				Parent:   cloneBranch(m.parent),
+				Branches: branchList(m.branches),
+				Leader:   n.ID(),
+				CoLead:   m.coLeaders.ids(),
+				Reply:    true,
+			})
+		}
+		return
+	}
+	if !ok && !msg.Wanted.IsZero() && msg.Wanted.Key() != msg.AF.Key() {
+		// The group's canonical filter differs syntactically from the one
+		// we asked with: re-key our membership to the group's filter.
+		if jm, okW := n.groups[msg.Wanted.Key()]; okW {
+			n.dropMembership(msg.Wanted.Key())
+			jm.af = msg.AF
+			n.groups[msg.AF.Key()] = jm
+			if jm.state == stateJoining {
+				n.joining[msg.AF.Key()] = jm
+			}
+			m, ok = jm, true
+		}
+	}
+	if !ok {
+		// Raced unsubscribe: tell the group we are gone.
+		n.send(from, leave{AF: msg.AF, Member: n.ID()})
+		return
+	}
+	wasJoining := m.state == stateJoining
+	wasLeading := m.isLeaderHere(n.ID())
+	n.setActive(m)
+	m.leader = msg.Leader
+	m.leaderlessAt = 0
+	m.coLeaders = n.liveView(msg.CoLeaders)
+	// A re-attaching leader that merged into another instance hands its
+	// members over to the new leadership.
+	if wasLeading && n.cfg.Comm == LeaderBased && msg.Leader != n.ID() && m.members.len() > 1 {
+		ann := coLeaderUpdate{AF: m.af, Leader: msg.Leader, CoLeaders: msg.CoLeaders}
+		for _, id := range m.members.ids() {
+			if id != n.ID() && id != msg.Leader {
+				n.send(id, ann)
+			}
+		}
+		n.send(msg.Leader, viewExchange{
+			AF:      m.af,
+			Members: m.members.ids(),
+			Leader:  msg.Leader,
+			CoLead:  msg.CoLeaders,
+			Reply:   true,
+		})
+	}
+	for _, id := range msg.Members {
+		m.members.add(id)
+	}
+	if n.cfg.Comm == Epidemic {
+		m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
+	}
+	m.parent = msg.Parent
+	if wasJoining {
+		n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
+	}
+	n.flushPending(m)
+}
+
+// handleJoinNotify keeps leader-mode co-leaders' groupview in sync.
+func (n *Node) handleJoinNotify(msg joinNotify) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	if msg.Gone {
+		m.members.remove(msg.Member)
+		m.coLeaders.remove(msg.Member)
+		return
+	}
+	m.members.add(msg.Member)
+}
+
+// handleGossipSub spreads epidemic membership updates (GOSSIP SUB).
+func (n *Node) handleGossipSub(msg gossipSub) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	if msg.Gone {
+		m.members.remove(msg.Member)
+	} else {
+		m.members.add(msg.Member)
+		m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
+	}
+	// Rumour-mongering: forward each distinct rumour at most once per
+	// dedup window, or bounded partial views make rumours immortal (an
+	// evicted member looks "new" forever).
+	rk := rumourKey(msg)
+	if _, dup := n.rumours[rk]; dup {
+		return
+	}
+	n.rumours[rk] = n.env.Now()
+	n.gossipMembership(m, msg)
+}
+
+func rumourKey(msg gossipSub) string {
+	k := msg.AF.Key()
+	b := make([]byte, 0, len(k)+12)
+	b = append(b, k...)
+	b = append(b, '|')
+	if msg.Gone {
+		b = append(b, '-')
+	} else {
+		b = append(b, '+')
+	}
+	for v := uint64(msg.Member); ; v >>= 8 {
+		b = append(b, byte(v))
+		if v < 256 {
+			break
+		}
+	}
+	return string(b)
+}
+
+// maxGossipHops hard-bounds rumour lifetimes: bounded partial views can
+// evict and re-learn members indefinitely, so probability decay alone does
+// not guarantee termination when configured close to 1.
+const maxGossipHops = 32
+
+// gossipMembership forwards a membership rumour to Fs random members with
+// hop-decaying probability.
+func (n *Node) gossipMembership(m *membership, msg gossipSub) {
+	if msg.Hops >= maxGossipHops {
+		return
+	}
+	p := pow(n.cfg.ForwardDecay, msg.Hops)
+	if n.env.Rand().Float64() >= p {
+		return
+	}
+	msg.Hops++
+	for _, id := range m.members.sample(n.env.Rand(), n.cfg.SubFanout, n.ID(), msg.Member) {
+		n.send(id, msg)
+	}
+}
+
+// handleAdopt re-parents this node's group.
+func (n *Node) handleAdopt(msg adopt) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	m.parent = msg.NewParent
+}
+
+// handleCoLeaderUpdate installs the announced leader/co-leader set.
+func (n *Node) handleCoLeaderUpdate(from sim.NodeID, msg coLeaderUpdate) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	if msg.Leader != 0 && n.suspected[msg.Leader] {
+		return // stale announcement naming a peer we know is dead
+	}
+	m.leader = msg.Leader
+	m.leaderlessAt = 0
+	m.coLeaders = n.liveView(msg.CoLeaders)
+}
+
+// liveView builds a view from ids, dropping peers this node suspects dead
+// (stale lists would otherwise reinfect healed state with corpses).
+func (n *Node) liveView(ids []sim.NodeID) *view {
+	v := newView()
+	for _, id := range ids {
+		if !n.suspected[id] {
+			v.add(id)
+		}
+	}
+	return v
+}
+
+// broadcastCoLeaders tells every member the current leadership (leader
+// mode; members only track leaders and co-leaders).
+func (n *Node) broadcastCoLeaders(m *membership) {
+	msg := coLeaderUpdate{AF: m.af, Leader: m.leader, CoLeaders: m.coLeaders.ids()}
+	for _, id := range m.members.ids() {
+		n.send(id, msg)
+	}
+}
+
+// leaveGroup executes a voluntary departure (unsubscription).
+func (n *Node) leaveGroup(m *membership) {
+	n.dropMembership(m.af.Key())
+	n.cfg.Directory.DropContact(m.af.Attr(), n.ID())
+	if m.state != stateActive {
+		return // never finished joining: nothing to tear down
+	}
+	others := m.members.ids()
+	alive := others[:0]
+	for _, id := range others {
+		if id != n.ID() {
+			alive = append(alive, id)
+		}
+	}
+	if len(alive) == 0 {
+		// Last member: dissolve the group; the parent adopts our children.
+		if p, ok := m.parent.first(); ok {
+			n.send(p, leave{AF: m.af, Member: n.ID(), Branches: branchList(m.branches)})
+		}
+		return
+	}
+	switch n.cfg.Comm {
+	case Epidemic:
+		n.gossipMembership(m, gossipSub{AF: m.af, Member: n.ID(), Gone: true})
+	default:
+		if m.isLeaderHere(n.ID()) {
+			n.handOverLeadership(m, alive)
+		} else if m.leader != 0 {
+			n.send(m.leader, leave{AF: m.af, Member: n.ID()})
+		}
+	}
+}
+
+// handOverLeadership promotes a successor before the leader departs.
+func (n *Node) handOverLeadership(m *membership, alive []sim.NodeID) {
+	successor, ok := m.coLeaders.first()
+	if !ok {
+		successor = alive[0]
+	}
+	m.members.remove(n.ID())
+	m.coLeaders.remove(successor)
+	next := coLeaderUpdate{AF: m.af, Leader: successor, CoLeaders: m.coLeaders.ids()}
+	for _, id := range alive {
+		n.send(id, next)
+	}
+	// Ship the full group state to the successor.
+	n.send(successor, viewExchange{
+		AF:       m.af,
+		Members:  m.members.ids(),
+		Parent:   cloneBranch(m.parent),
+		Branches: branchList(m.branches),
+		Leader:   successor,
+		CoLead:   m.coLeaders.ids(),
+		Reply:    true,
+	})
+	// Parent and children must point at the successor now.
+	n.notifyNeighboursOfContacts(m, append([]sim.NodeID{successor}, m.coLeaders.ids()...))
+}
+
+// notifyNeighboursOfContacts refreshes the branch entry the parent keeps
+// for this group and the predview its children keep.
+func (n *Node) notifyNeighboursOfContacts(m *membership, contacts []sim.NodeID) {
+	self := Branch{AF: m.af, Nodes: contacts}
+	for _, p := range m.parent.Nodes {
+		n.send(p, branchUpdate{Parent: m.parent.AF, Child: cloneBranch(self)})
+	}
+	for _, k := range sortedBranchKeys(m.branches) {
+		b := m.branches[k]
+		for _, c := range b.Nodes {
+			n.send(c, adopt{AF: b.AF, NewParent: cloneBranch(self)})
+		}
+	}
+}
+
+// handleLeave processes a member departure or a whole-group dissolution.
+func (n *Node) handleLeave(msg leave) {
+	// Group dissolution: adopt the orphaned branches.
+	if len(msg.Branches) > 0 {
+		m := n.membershipWithBranch(msg.AF)
+		if m != nil {
+			delete(m.branches, msg.AF.Key())
+			np := Branch{AF: m.af, Nodes: append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...)}
+			for _, b := range msg.Branches {
+				nb := cloneBranch(b)
+				m.branches[b.AF.Key()] = &nb
+				for _, c := range b.Nodes {
+					n.send(c, adopt{AF: b.AF, NewParent: cloneBranch(np)})
+				}
+			}
+			return
+		}
+	}
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		// Maybe we are the parent: a childless last member left.
+		if pm := n.membershipWithBranch(msg.AF); pm != nil {
+			if b := pm.branches[msg.AF.Key()]; b != nil && !b.dropNode(msg.Member) {
+				delete(pm.branches, msg.AF.Key())
+			}
+		}
+		return
+	}
+	m.members.remove(msg.Member)
+	m.coLeaders.remove(msg.Member)
+	if n.cfg.Comm == LeaderBased && m.isLeaderHere(n.ID()) {
+		for _, cl := range m.coLeaders.ids() {
+			n.send(cl, joinNotify{AF: m.af, Member: msg.Member, Gone: true})
+		}
+	}
+}
+
+// handleBranchUpdate refreshes the contact list of one child branch.
+func (n *Node) handleBranchUpdate(msg branchUpdate) {
+	m, ok := n.groups[msg.Parent.Key()]
+	if !ok {
+		m = n.membershipWithBranch(msg.Child.AF)
+		if m == nil {
+			return
+		}
+	}
+	if b, ok := m.branches[msg.Child.AF.Key()]; ok {
+		*b = cloneBranch(msg.Child)
+		return
+	}
+	// Unknown branch: accept it if it belongs below us (healing).
+	if m.af.IsUniversal() || m.af.StrictlyIncludes(msg.Child.AF) {
+		nb := cloneBranch(msg.Child)
+		m.branches[msg.Child.AF.Key()] = &nb
+	}
+}
+
+// membershipWithBranch finds the membership holding a branch for af.
+func (n *Node) membershipWithBranch(af filter.AttrFilter) *membership {
+	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		m := n.groups[key]
+		if _, ok := m.branches[af.Key()]; ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// handleRehome re-walks this group from the current owner (duplicate-tree
+// merge).
+func (n *Node) handleRehome(msg rehome) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	n.setJoining(m)
+	n.startJoin(m)
+}
+
+// isLeaderHere reports whether id leads the group (leader mode). Epidemic
+// groups are leaderless and every member answers.
+func (m *membership) isLeaderHere(id sim.NodeID) bool {
+	return m.leader == id
+}
+
+// branchList copies the succview into a shippable slice, canonically
+// ordered.
+func branchList(branches map[string]*Branch) []Branch {
+	out := make([]Branch, 0, len(branches))
+	for _, k := range sortedBranchKeys(branches) {
+		out = append(out, cloneBranch(*branches[k]))
+	}
+	return out
+}
+
+// pow is a small integer-exponent power for gossip decay.
+func pow(base float64, exp int) float64 {
+	p := 1.0
+	for i := 0; i < exp; i++ {
+		p *= base
+	}
+	return p
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// view is an insertion-ordered set of node ids — the representation of the
+// paper's groupview/predview/succview lists ("if there are F nodes in the
+// list and a new node is inserted, a node is removed from the bottom").
+type view struct {
+	list []sim.NodeID
+	set  map[sim.NodeID]bool
+}
+
+func newView(ids ...sim.NodeID) *view {
+	v := &view{set: make(map[sim.NodeID]bool, len(ids))}
+	for _, id := range ids {
+		v.add(id)
+	}
+	return v
+}
+
+// add appends id if absent and reports whether it was inserted.
+func (v *view) add(id sim.NodeID) bool {
+	if v.set[id] {
+		return false
+	}
+	v.set[id] = true
+	v.list = append(v.list, id)
+	return true
+}
+
+// remove deletes id and reports whether it was present.
+func (v *view) remove(id sim.NodeID) bool {
+	if !v.set[id] {
+		return false
+	}
+	delete(v.set, id)
+	for i, x := range v.list {
+		if x == id {
+			v.list = append(v.list[:i], v.list[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func (v *view) has(id sim.NodeID) bool { return v.set[id] }
+
+func (v *view) len() int { return len(v.list) }
+
+// ids returns a copy of the view in insertion order.
+func (v *view) ids() []sim.NodeID {
+	out := make([]sim.NodeID, len(v.list))
+	copy(out, v.list)
+	return out
+}
+
+// first returns the oldest entry, or 0/false when empty.
+func (v *view) first() (sim.NodeID, bool) {
+	if len(v.list) == 0 {
+		return 0, false
+	}
+	return v.list[0], true
+}
+
+// bound trims the view to max entries by evicting uniformly random ones.
+// The paper removes "from the bottom of the list" while continuous view
+// gossip rotates list positions; with set-semantics views (re-adding a
+// known member is a no-op) any deterministic end of the list ossifies into
+// the same members at every node, leaving the rest unreachable by gossip.
+// Random eviction keeps the union of partial views covering the group.
+func (v *view) bound(max int, rng *rand.Rand) {
+	if max <= 0 || len(v.list) <= max {
+		return
+	}
+	for len(v.list) > max {
+		i := rng.Intn(len(v.list))
+		delete(v.set, v.list[i])
+		v.list[i] = v.list[len(v.list)-1]
+		v.list = v.list[:len(v.list)-1]
+	}
+}
+
+// sample returns up to k distinct entries drawn uniformly, excluding the
+// given ids.
+func (v *view) sample(rng *rand.Rand, k int, exclude ...sim.NodeID) []sim.NodeID {
+	if k <= 0 {
+		return nil
+	}
+	ex := make(map[sim.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		ex[id] = true
+	}
+	pool := make([]sim.NodeID, 0, len(v.list))
+	for _, id := range v.list {
+		if !ex[id] {
+			pool = append(pool, id)
+		}
+	}
+	if len(pool) <= k {
+		return pool
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:k]
+}
+
+// headAfter returns up to k of the oldest entries excluding the given ids —
+// the co-leader selection rule ("the first Kc nodes that joined the group
+// directly after the leader").
+func (v *view) headAfter(k int, exclude ...sim.NodeID) []sim.NodeID {
+	if k <= 0 {
+		return nil
+	}
+	ex := make(map[sim.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		ex[id] = true
+	}
+	out := make([]sim.NodeID, 0, k)
+	for _, id := range v.list {
+		if ex[id] {
+			continue
+		}
+		out = append(out, id)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// sortedBranchKeys returns the branch keys in canonical order, matching the
+// oracle's deterministic child iteration.
+func sortedBranchKeys(branches map[string]*Branch) []string {
+	keys := make([]string, 0, len(branches))
+	for k := range branches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cloneBranch copies a branch (views cross node boundaries by value).
+func cloneBranch(b Branch) Branch {
+	nodes := make([]sim.NodeID, len(b.Nodes))
+	copy(nodes, b.Nodes)
+	return Branch{AF: b.AF, Nodes: nodes}
+}
+
+// first returns the branch's primary contact, or 0/false when empty.
+func (b Branch) first() (sim.NodeID, bool) {
+	if len(b.Nodes) == 0 {
+		return 0, false
+	}
+	return b.Nodes[0], true
+}
+
+// dropNode removes id from a branch's contact list in place and reports
+// whether the branch still has contacts.
+func (b *Branch) dropNode(id sim.NodeID) bool {
+	for i, x := range b.Nodes {
+		if x == id {
+			b.Nodes = append(b.Nodes[:i], b.Nodes[i+1:]...)
+			break
+		}
+	}
+	return len(b.Nodes) > 0
+}
+
+// mergeNodes appends unseen contacts, keeping at most k.
+func (b *Branch) mergeNodes(ids []sim.NodeID, k int) {
+	seen := make(map[sim.NodeID]bool, len(b.Nodes))
+	for _, id := range b.Nodes {
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			b.Nodes = append(b.Nodes, id)
+		}
+	}
+	if k > 0 && len(b.Nodes) > k {
+		b.Nodes = b.Nodes[:k]
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+func TestViewAddRemove(t *testing.T) {
+	v := newView(3, 1, 2)
+	if v.len() != 3 {
+		t.Fatalf("len = %d", v.len())
+	}
+	if !v.has(1) || v.has(9) {
+		t.Error("membership wrong")
+	}
+	if v.add(1) {
+		t.Error("duplicate add reported true")
+	}
+	if !v.remove(1) || v.remove(1) {
+		t.Error("remove semantics wrong")
+	}
+	ids := v.ids()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 2 {
+		t.Errorf("insertion order lost: %v", ids)
+	}
+	first, ok := v.first()
+	if !ok || first != 3 {
+		t.Errorf("first = %d, %v", first, ok)
+	}
+	empty := newView()
+	if _, ok := empty.first(); ok {
+		t.Error("empty view reported a first element")
+	}
+}
+
+func TestViewBoundEvictsRandomly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := newView(1, 2, 3, 4, 5)
+	v.bound(3, rng)
+	if v.len() != 3 {
+		t.Fatalf("len after bound = %d", v.len())
+	}
+	for _, id := range v.ids() {
+		if !v.has(id) {
+			t.Errorf("list/set inconsistent for %d", id)
+		}
+	}
+	v.bound(10, rng) // no-op
+	if v.len() != 3 {
+		t.Error("over-large bound mutated the view")
+	}
+	v.bound(0, rng) // no-op by contract
+	if v.len() != 3 {
+		t.Error("zero bound mutated the view")
+	}
+	// Evictions must be spread: over many trials every element gets evicted
+	// sometimes (no deterministic survivor set).
+	evicted := map[sim.NodeID]int{}
+	for trial := 0; trial < 200; trial++ {
+		w := newView(1, 2, 3, 4, 5)
+		w.bound(3, rng)
+		for id := sim.NodeID(1); id <= 5; id++ {
+			if !w.has(id) {
+				evicted[id]++
+			}
+		}
+	}
+	for id := sim.NodeID(1); id <= 5; id++ {
+		if evicted[id] == 0 {
+			t.Errorf("element %d never evicted across 200 trials", id)
+		}
+	}
+}
+
+func TestViewSampleExcludes(t *testing.T) {
+	v := newView(1, 2, 3, 4, 5, 6)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		s := v.sample(rng, 3, 2, 4)
+		if len(s) != 3 {
+			t.Fatalf("sample size %d", len(s))
+		}
+		seen := map[sim.NodeID]bool{}
+		for _, id := range s {
+			if id == 2 || id == 4 {
+				t.Fatalf("excluded id %d sampled", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %d in sample", id)
+			}
+			seen[id] = true
+		}
+	}
+	if got := v.sample(rng, 0); got != nil {
+		t.Error("k=0 should sample nothing")
+	}
+	if got := v.sample(rng, 10, 1, 2, 3, 4, 5, 6); len(got) != 0 {
+		t.Errorf("fully-excluded sample = %v", got)
+	}
+}
+
+func TestViewHeadAfter(t *testing.T) {
+	v := newView(7, 3, 9, 1)
+	got := v.headAfter(2, 3)
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Errorf("headAfter = %v, want [7 9]", got)
+	}
+	if got := v.headAfter(0); got != nil {
+		t.Error("k=0 should return nothing")
+	}
+}
+
+func TestBranchHelpers(t *testing.T) {
+	b := Branch{Nodes: []sim.NodeID{1, 2, 3}}
+	if !b.dropNode(2) {
+		t.Error("dropNode should report remaining contacts")
+	}
+	if b.dropNode(1) != true || b.dropNode(3) != false {
+		t.Error("dropNode cascade wrong")
+	}
+	b = Branch{Nodes: []sim.NodeID{1, 2}}
+	b.mergeNodes([]sim.NodeID{2, 3, 4, 5}, 3)
+	if len(b.Nodes) != 3 || b.Nodes[0] != 1 || b.Nodes[2] != 3 {
+		t.Errorf("mergeNodes = %v, want [1 2 3]", b.Nodes)
+	}
+	c := cloneBranch(b)
+	c.Nodes[0] = 99
+	if b.Nodes[0] == 99 {
+		t.Error("cloneBranch shares backing array")
+	}
+}
+
+func TestSharedDirectory(t *testing.T) {
+	d := NewSharedDirectory()
+	if _, ok := d.Owner("a"); ok {
+		t.Error("empty directory has an owner")
+	}
+	if got := d.ClaimOwner("a", 1); got != 1 {
+		t.Errorf("ClaimOwner = %d", got)
+	}
+	if got := d.ClaimOwner("a", 2); got != 1 {
+		t.Error("second claim must not displace the owner")
+	}
+	d.ReplaceOwner("a", 3)
+	if got, _ := d.Owner("a"); got != 3 {
+		t.Errorf("owner after replace = %d", got)
+	}
+	d.AddContact("a", 1)
+	d.AddContact("a", 2)
+	d.AddContact("a", 1) // dup ignored
+	if got := d.Contacts("a"); len(got) != 2 {
+		t.Errorf("contacts = %v", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := d.Contact("a", rng); !ok {
+		t.Error("contact lookup failed")
+	}
+	d.DropContact("a", 1)
+	d.DropContact("a", 99) // unknown: no-op
+	if got := d.Contacts("a"); len(got) != 1 || got[0] != 2 {
+		t.Errorf("contacts after drop = %v", got)
+	}
+	if _, ok := d.Contact("zzz", rng); ok {
+		t.Error("contact for unknown attribute")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+// Wire registration for cross-process transports: the protocol messages
+// are unexported (only engines inside this module construct them), so the
+// package registers its own concrete types with encoding/gob for
+// transports shipping them as interface payloads.
+
+import "encoding/gob"
+
+// RegisterWireTypes registers every protocol message with gob. Transports
+// (internal/tcpnet) call it once before encoding; it is idempotent.
+func RegisterWireTypes() {
+	gob.Register(findGroup{})
+	gob.Register(joinAccept{})
+	gob.Register(createGroup{})
+	gob.Register(joinNotify{})
+	gob.Register(gossipSub{})
+	gob.Register(adopt{})
+	gob.Register(coLeaderUpdate{})
+	gob.Register(publishTree{})
+	gob.Register(publishGroup{})
+	gob.Register(heartbeat{})
+	gob.Register(heartbeatAck{})
+	gob.Register(viewExchange{})
+	gob.Register(leave{})
+	gob.Register(branchUpdate{})
+	gob.Register(rehome{})
+	gob.Register(rootInvite{})
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestRunAblations(t *testing.T) {
+	res, err := RunAblations(AblationOptions{Seed: 1, Nodes: 120, Steps: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, row := range res.Rows {
+		byKey[row.Study+"/"+row.Variant+"/"+row.Metric] = row.Value
+	}
+	if byKey["zone-quantisation/quantum=50/largest-group"] <= byKey["zone-quantisation/none/largest-group"] {
+		t.Errorf("quantised zones should build larger groups: %v", byKey)
+	}
+	if byKey["zone-quantisation/none/groups"] <= byKey["zone-quantisation/quantum=50/groups"] {
+		t.Errorf("unquantised ranges should produce more distinct groups: %v", byKey)
+	}
+	if byKey["gossip-rounds/rounds=3/delivery-ratio"] <= byKey["gossip-rounds/rounds=1/delivery-ratio"] {
+		t.Errorf("re-offering must raise epidemic delivery: %v", byKey)
+	}
+	if got := res.Render(); len(got) == 0 {
+		t.Error("empty render")
+	}
+	if _, err := RunAblations(AblationOptions{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dps-overlay/dps/internal/analysis"
+)
+
+// AnalysisOptions parameterise the §5.1 analytical comparison.
+type AnalysisOptions struct {
+	Params analysis.Params
+	// Fanout2 adds the "k = 2" epidemic column.
+	Fanout2 bool
+}
+
+// DefaultAnalysisOptions uses a representative tree shape: depth 5,
+// largest group 20, unit fanouts.
+func DefaultAnalysisOptions() AnalysisOptions {
+	return AnalysisOptions{
+		Params:  analysis.Params{H: 5, S: 20, K: 1, K2: 1},
+		Fanout2: true,
+	}
+}
+
+// AnalysisRow is one implementation's worst-case message bound.
+type AnalysisRow struct {
+	Config string
+	Bound  int
+}
+
+// AnalysisResult bundles the comparison plus the reliability model.
+type AnalysisResult struct {
+	Rows []AnalysisRow
+	// MissGeneric is the §5.1 miss probability p for generic DPS with
+	// uniform contact levels and a uniformly placed similarity group;
+	// root-based is always 0.
+	MissGeneric float64
+	Opts        AnalysisOptions
+}
+
+// RunAnalysis evaluates the closed forms of §5.1.
+func RunAnalysis(opts AnalysisOptions) (*AnalysisResult, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AnalysisResult{Opts: opts}
+	for _, cfg := range analysis.Configs() {
+		res.Rows = append(res.Rows, AnalysisRow{
+			Config: cfg.String(),
+			Bound:  analysis.MessageBound(cfg, opts.Params),
+		})
+	}
+	if opts.Fanout2 {
+		p2 := opts.Params
+		p2.K, p2.K2 = 2, 2
+		res.Rows = append(res.Rows,
+			AnalysisRow{Config: "root-epidemic k=2", Bound: analysis.EpidemicRoot(p2)},
+			AnalysisRow{Config: "generic-epidemic k=2", Bound: analysis.EpidemicGeneric(p2)},
+		)
+	}
+	levels := analysis.UniformLevels(opts.Params.H)
+	miss, err := analysis.MissProbability(levels, levels)
+	if err != nil {
+		return nil, err
+	}
+	res.MissGeneric = miss
+	return res, nil
+}
+
+// Render prints the analytical table.
+func (r *AnalysisResult) Render() string {
+	var b strings.Builder
+	p := r.Opts.Params
+	fmt.Fprintf(&b, "§5.1 — Analytical worst-case messages per event (h=%d, S=%d, k=%d, k'=%d)\n",
+		p.H, p.S, p.K, p.K2)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-22s %6d\n", row.Config, row.Bound)
+	}
+	fmt.Fprintf(&b, "§5.1 — Reliability: miss probability of a concurrent subscription\n")
+	fmt.Fprintf(&b, "  root-based    %6.4f (subscriptions prioritised at the root)\n",
+		analysis.RootMissProbability())
+	fmt.Fprintf(&b, "  generic       %6.4f (uniform contact levels and group depth)\n", r.MissGeneric)
+	return b.String()
+}

@@ -1,0 +1,293 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5.2): Table 1 (false positives under three workloads),
+// Figure 3(a) dependability, 3(b) recovery, 3(c)/(d) scalability,
+// 3(e)/(f) leader vs epidemic and 3(g) root vs generic load comparisons,
+// plus the §5.1 analytical comparison. Each experiment returns a typed
+// result with a Render method that prints the same rows/series the paper
+// reports; cmd/dps-bench is the CLI front end and bench_test.go wraps each
+// at reduced scale.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/metrics"
+	"github.com/dps-overlay/dps/internal/semtree"
+	"github.com/dps-overlay/dps/internal/sim"
+	"github.com/dps-overlay/dps/internal/workload"
+)
+
+// ConfigSpec names one DPS implementation variant under test, matching
+// the labels of the paper's plots (e.g. "epidemic root k = 2").
+type ConfigSpec struct {
+	Name        string
+	Traversal   core.TraversalMode
+	Comm        core.CommMode
+	Fanout      int // epidemic k; 0 keeps the default
+	CrossFanout int // epidemic k'; 0 keeps the default
+}
+
+// apply mutates a node config according to the spec.
+func (s ConfigSpec) apply(cfg *core.Config) {
+	cfg.Traversal = s.Traversal
+	cfg.Comm = s.Comm
+	if s.Fanout > 0 {
+		cfg.Fanout = s.Fanout
+	}
+	if s.CrossFanout > 0 {
+		cfg.CrossFanout = s.CrossFanout
+	}
+}
+
+// PaperConfigs returns the six configurations of Figure 3(a).
+func PaperConfigs() []ConfigSpec {
+	return []ConfigSpec{
+		{Name: "leader root", Traversal: core.RootBased, Comm: core.LeaderBased},
+		{Name: "leader generic", Traversal: core.Generic, Comm: core.LeaderBased},
+		{Name: "epidemic root", Traversal: core.RootBased, Comm: core.Epidemic},
+		{Name: "epidemic generic", Traversal: core.Generic, Comm: core.Epidemic},
+		{Name: "epidemic root k = 2", Traversal: core.RootBased, Comm: core.Epidemic, Fanout: 2, CrossFanout: 2},
+		{Name: "epidemic generic k = 2", Traversal: core.Generic, Comm: core.Epidemic, Fanout: 2, CrossFanout: 2},
+	}
+}
+
+// liveDirectory wraps the shared directory with engine liveness: the
+// paper locates contact points with random walks, which traverse live
+// nodes and therefore never return a crashed one. Without this, the
+// registry accumulates dead members that nobody ever suspects (in leader
+// mode only leaders monitor regular members) and generic publications
+// enter the tree through corpses.
+type liveDirectory struct {
+	*core.SharedDirectory
+	alive func(sim.NodeID) bool
+}
+
+// Contact retries the registry draw a bounded number of times until it
+// finds a live entry point, mimicking a random walk over live nodes.
+func (d liveDirectory) Contact(attr string, rng *rand.Rand) (sim.NodeID, bool) {
+	var last sim.NodeID
+	var ok bool
+	for i := 0; i < 16; i++ {
+		last, ok = d.SharedDirectory.Contact(attr, rng)
+		if !ok {
+			return 0, false
+		}
+		if d.alive(last) {
+			return last, true
+		}
+		d.SharedDirectory.DropContact(attr, last)
+	}
+	return last, ok
+}
+
+// Owner resolves dead owners to a live co-owner claim where possible by
+// simply reporting them; ownership healing is the protocol's job.
+var _ core.Directory = liveDirectory{}
+
+// Cluster is the experiment substrate: a cycle engine running DPS nodes
+// plus the bookkeeping every figure needs — an oracle mirror of all
+// subscriptions (for expected-recipient sets), traffic counters, and a
+// delivery tracker.
+type Cluster struct {
+	Engine   *sim.Engine
+	Dir      *core.SharedDirectory
+	Nodes    map[sim.NodeID]*core.Node
+	Registry *metrics.Registry
+	Tracker  *metrics.DeliveryTracker
+	Oracle   *semtree.Forest
+
+	// Contacted/Delivered per event (Table 1 protocol mode).
+	Contacted map[core.EventID]map[sim.NodeID]bool
+
+	// MutateConfig, when set, adjusts every new node's configuration after
+	// the ConfigSpec applies (ablation studies).
+	MutateConfig func(*core.Config)
+
+	spec      ConfigSpec
+	seed      int64
+	nextID    sim.NodeID
+	NextEvent core.EventID
+}
+
+// NewCluster builds an empty cluster for the given configuration.
+func NewCluster(spec ConfigSpec, seed int64) *Cluster {
+	c := &Cluster{
+		Dir:       core.NewSharedDirectory(),
+		Nodes:     make(map[sim.NodeID]*core.Node),
+		Registry:  metrics.NewRegistry(),
+		Tracker:   metrics.NewDeliveryTracker(),
+		Oracle:    semtree.New(),
+		Contacted: make(map[core.EventID]map[sim.NodeID]bool),
+		spec:      spec,
+		seed:      seed,
+	}
+	c.Engine = sim.NewEngine(sim.Config{
+		Seed: seed,
+		OnSend: func(from, to sim.NodeID, msg any) {
+			c.Registry.Sent(int64(from), metrics.KindOf(msg))
+		},
+		OnDeliver: func(from, to sim.NodeID, msg any) {
+			c.Registry.Received(int64(to), metrics.KindOf(msg))
+		},
+	})
+	return c
+}
+
+// AddNode spawns one node and returns its id.
+func (c *Cluster) AddNode() sim.NodeID {
+	c.nextID++
+	id := c.nextID
+	cfg := core.DefaultConfig()
+	cfg.Directory = liveDirectory{SharedDirectory: c.Dir, alive: c.Engine.Alive}
+	c.spec.apply(&cfg)
+	if c.MutateConfig != nil {
+		c.MutateConfig(&cfg)
+	}
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: NewNode: %v", err)) // static config
+	}
+	node.OnEventHook(func(ev core.EventID, _ filter.Event) {
+		set := c.Contacted[ev]
+		if set == nil {
+			set = make(map[sim.NodeID]bool)
+			c.Contacted[ev] = set
+		}
+		set[id] = true
+	})
+	node.OnDeliverHook(func(ev core.EventID, _ filter.Event) {
+		c.Tracker.DeliverAt(metrics.EventID(ev), int64(id), c.Engine.Now())
+	})
+	if err := c.Engine.Add(id, node); err != nil {
+		panic(fmt.Sprintf("experiments: engine.Add: %v", err))
+	}
+	c.Nodes[id] = node
+	return id
+}
+
+// Subscribe registers the subscription at the node and mirrors it in the
+// oracle.
+func (c *Cluster) Subscribe(id sim.NodeID, sub filter.Subscription) error {
+	if err := c.Nodes[id].Subscribe(sub); err != nil {
+		return err
+	}
+	if _, err := c.Oracle.Subscribe(semtree.MemberID(id), sub); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SubscribePopulation gives every one of n fresh nodes `perNode`
+// subscriptions from the generator, feeding `batch` subscriptions per
+// engine step, then settles long enough for the forest to form.
+//
+// The first subscription of each distinct filter goes out in a first wave,
+// so every group is created exactly once; the remaining subscriptions join
+// existing groups (joins are race-free). This mirrors the paper's setup
+// phase ("we first issued 10,000 subscriptions to build the overlay") —
+// the runtime merge machinery still covers subscriptions racing during
+// measured phases.
+func (c *Cluster) SubscribePopulation(n, perNode, batch int, gen *workload.Generator) {
+	type job struct {
+		id  sim.NodeID
+		sub filter.Subscription
+	}
+	var creators, joiners []job
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		id := c.AddNode()
+		for s := 0; s < perNode; s++ {
+			sub := gen.Subscription()
+			filters, err := filter.SubscriptionFilters(sub)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: filters: %v", err))
+			}
+			key := filters[0].Key()
+			if seen[key] {
+				joiners = append(joiners, job{id: id, sub: sub})
+			} else {
+				seen[key] = true
+				creators = append(creators, job{id: id, sub: sub})
+			}
+		}
+	}
+	feed := func(jobs []job) {
+		for len(jobs) > 0 {
+			k := batch
+			if k > len(jobs) {
+				k = len(jobs)
+			}
+			for _, j := range jobs[:k] {
+				// Unsatisfiable filters cannot occur from the generators;
+				// an error here is a harness bug.
+				if err := c.Subscribe(j.id, j.sub); err != nil {
+					panic(fmt.Sprintf("experiments: subscribe: %v", err))
+				}
+			}
+			jobs = jobs[k:]
+			c.Engine.Step()
+		}
+	}
+	feed(creators)
+	c.Engine.Run(25) // groups settle before the join wave
+	feed(joiners)
+	c.Engine.Run(120) // settle joins, co-leader announcements, adoption
+}
+
+// PublishTracked publishes an event from a random live node, registering
+// the oracle-expected recipient set (matching subscribers alive right
+// now) with the delivery tracker.
+func (c *Cluster) PublishTracked(ev filter.Event, rngDraw int64) core.EventID {
+	c.NextEvent++
+	id := c.NextEvent
+	publisher := c.randomAlive(rngDraw)
+	if publisher == 0 {
+		return id
+	}
+	expected := make([]int64, 0, 64)
+	for m := range c.Oracle.MatchingMembers(ev) {
+		if c.Engine.Alive(sim.NodeID(m)) {
+			expected = append(expected, int64(m))
+		}
+	}
+	c.Tracker.Publish(metrics.EventID(id), c.Engine.Now(), expected)
+	if err := c.Nodes[publisher].Publish(id, ev); err != nil {
+		panic(fmt.Sprintf("experiments: publish: %v", err))
+	}
+	return id
+}
+
+// randomAlive picks a live node deterministically from the draw value.
+func (c *Cluster) randomAlive(draw int64) sim.NodeID {
+	ids := c.Engine.AliveIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	if draw < 0 {
+		draw = -draw
+	}
+	return ids[draw%int64(len(ids))]
+}
+
+// KillRandomAlive crashes one random live node; the oracle keeps its
+// subscriptions (expected sets filter by liveness at publish time).
+func (c *Cluster) KillRandomAlive(draw int64) sim.NodeID {
+	id := c.randomAlive(draw)
+	if id != 0 {
+		c.Engine.Kill(id)
+	}
+	return id
+}
+
+// AliveInt64s returns live node ids as int64 for metrics helpers.
+func (c *Cluster) AliveInt64s() []int64 {
+	ids := c.Engine.AliveIDs()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}

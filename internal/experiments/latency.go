@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/metrics"
+	"github.com/dps-overlay/dps/internal/workload"
+)
+
+// The latency experiment validates the paper's §6 conclusion that "the
+// publication process benefits from the root-based approach that obviously
+// provides lower latency": it measures, per (event, subscriber) delivery,
+// the number of steps between publication and notification under each
+// traversal strategy.
+
+// LatencyOptions parameterise the study.
+type LatencyOptions struct {
+	Seed        int64
+	Nodes       int
+	SubsPerNode int
+	Events      int
+	Configs     []ConfigSpec
+}
+
+// DefaultLatencyOptions compares root vs generic traversal under leader
+// communication at a laptop-friendly size.
+func DefaultLatencyOptions() LatencyOptions {
+	return LatencyOptions{
+		Seed:        1,
+		Nodes:       400,
+		SubsPerNode: 2,
+		Events:      200,
+		Configs: []ConfigSpec{
+			{Name: "root", Traversal: core.RootBased, Comm: core.LeaderBased},
+			{Name: "generic", Traversal: core.Generic, Comm: core.LeaderBased},
+		},
+	}
+}
+
+// LatencyRow is one configuration's latency distribution.
+type LatencyRow struct {
+	Config     string
+	MeanSteps  float64
+	P95Steps   int64
+	MaxSteps   int64
+	Deliveries int
+	Ratio      float64
+}
+
+// LatencyResult bundles the rows.
+type LatencyResult struct {
+	Rows []LatencyRow
+	Opts LatencyOptions
+}
+
+// RunLatency measures publish→notify latency per traversal strategy.
+func RunLatency(opts LatencyOptions) (*LatencyResult, error) {
+	if opts.Nodes <= 0 || opts.Events <= 0 {
+		return nil, fmt.Errorf("experiments: latency needs positive sizes")
+	}
+	res := &LatencyResult{Opts: opts}
+	for _, spec := range opts.Configs {
+		c := NewCluster(spec, opts.Seed)
+		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
+		c.SubscribePopulation(opts.Nodes, opts.SubsPerNode, 25, gen)
+		rng := rand.New(rand.NewSource(opts.Seed ^ 0x1a7))
+		for i := 0; i < opts.Events; i++ {
+			c.PublishTracked(gen.Event(), rng.Int63())
+			c.Engine.Run(5) // spaced publications; latencies still overlap
+		}
+		c.Engine.Run(80)
+		lats := c.Tracker.Latencies()
+		row := LatencyRow{
+			Config:     spec.Name,
+			Deliveries: len(lats),
+			Ratio:      c.Tracker.Ratio(),
+			P95Steps:   metrics.Percentile(lats, 0.95),
+			MaxSteps:   metrics.Max(lats),
+		}
+		var sum int64
+		for _, l := range lats {
+			sum += l
+		}
+		if len(lats) > 0 {
+			row.MeanSteps = float64(sum) / float64(len(lats))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the latency comparison.
+func (r *LatencyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Latency — publish→notify steps per traversal (§6: root-based is faster)\n")
+	fmt.Fprintf(&b, "(%d nodes × %d subscriptions, %d events, seed %d)\n",
+		r.Opts.Nodes, r.Opts.SubsPerNode, r.Opts.Events, r.Opts.Seed)
+	fmt.Fprintf(&b, "%-10s %10s %8s %8s %12s %8s\n",
+		"traversal", "mean", "p95", "max", "deliveries", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10.2f %8d %8d %12d %8.3f\n",
+			row.Config, row.MeanSteps, row.P95Steps, row.MaxSteps,
+			row.Deliveries, row.Ratio)
+	}
+	return b.String()
+}

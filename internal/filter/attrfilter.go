@@ -1,0 +1,346 @@
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AttrFilter is the conjunction of one subscription's predicates over a
+// single attribute — e.g. the two predicates of a range c1 < a < c2. It is
+// the label of a semantic group in the DPS overlay: the paper's Figure 1
+// places a subscriber such as s8 (a>2 ∧ a<20 ∧ c=a*) at the tree path
+// a>2 → a<20, i.e. the subscriber is filtered by its whole per-attribute
+// constraint, not by a single predicate. Grouping by attribute filter
+// subsumes the paper's single-predicate similarity (Def. 1) when the filter
+// has one predicate and reproduces the path stacking of Figure 1 when it
+// has several.
+//
+// AttrFilters are canonicalised on construction: integer bounds merge to
+// the strongest lower/upper bound, an equality collapses the interval to a
+// point, a two-value interval collapses to an equality, and string
+// predicates implied by stronger ones are dropped. Unsatisfiable
+// conjunctions are detected and marked empty. Canonical filters compare by
+// Key.
+type AttrFilter struct {
+	attr      string
+	preds     []Predicate // canonical, sorted by Key; nil for universal/empty
+	empty     bool        // conjunction is unsatisfiable (matches nothing)
+	universal bool        // matches every value (tree-root label)
+}
+
+// UniversalFilter returns the filter matching every value of attr; it
+// labels the root group of the attribute's tree.
+func UniversalFilter(attr string) AttrFilter {
+	return AttrFilter{attr: attr, universal: true}
+}
+
+// NewAttrFilter canonicalises the conjunction of preds, which must all
+// constrain the same attribute attr.
+func NewAttrFilter(attr string, preds []Predicate) (AttrFilter, error) {
+	if attr == "" {
+		return AttrFilter{}, errors.New("filter: attribute filter needs an attribute name")
+	}
+	if len(preds) == 0 {
+		return AttrFilter{}, errors.New("filter: attribute filter needs at least one predicate")
+	}
+	for _, p := range preds {
+		if p.Attr != attr {
+			return AttrFilter{}, fmt.Errorf("filter: predicate %v does not constrain attribute %q", p, attr)
+		}
+		if err := p.Validate(); err != nil {
+			return AttrFilter{}, err
+		}
+	}
+	return canonicalise(attr, preds), nil
+}
+
+// MustAttrFilter is NewAttrFilter for statically-known-good inputs.
+// It panics on error.
+func MustAttrFilter(attr string, preds ...Predicate) AttrFilter {
+	f, err := NewAttrFilter(attr, preds)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func canonicalise(attr string, preds []Predicate) AttrFilter {
+	var (
+		ints    []Predicate
+		strs    []Predicate
+		sawReal bool
+	)
+	for _, p := range preds {
+		switch {
+		case p.Op == OpAny:
+			// implied by anything, including the empty conjunction
+		case p.Type == TypeInt:
+			ints = append(ints, p)
+			sawReal = true
+		default:
+			strs = append(strs, p)
+			sawReal = true
+		}
+	}
+	if !sawReal {
+		return UniversalFilter(attr)
+	}
+	if len(ints) > 0 && len(strs) > 0 {
+		// A value has a single type; an int and a string constraint can
+		// never hold together.
+		return AttrFilter{attr: attr, empty: true}
+	}
+	var canon []Predicate
+	var empty bool
+	if len(ints) > 0 {
+		canon, empty = canonInt(attr, ints)
+	} else {
+		canon, empty = canonString(strs)
+	}
+	if empty {
+		return AttrFilter{attr: attr, empty: true}
+	}
+	sort.Slice(canon, func(i, j int) bool { return canon[i].Key() < canon[j].Key() })
+	return AttrFilter{attr: attr, preds: canon}
+}
+
+// canonInt reduces integer predicates to one of: a single equality, a lower
+// bound, an upper bound, or both bounds. It reports unsatisfiability.
+func canonInt(attr string, preds []Predicate) (canon []Predicate, empty bool) {
+	const unset = math.MinInt64
+	lb, ub := int64(unset), int64(math.MaxInt64)
+	haveLB, haveUB := false, false
+	haveEQ := false
+	var eq int64
+	for _, p := range preds {
+		switch p.Op {
+		case OpGT:
+			if !haveLB || p.Int > lb {
+				lb, haveLB = p.Int, true
+			}
+		case OpLT:
+			if !haveUB || p.Int < ub {
+				ub, haveUB = p.Int, true
+			}
+		case OpEQ:
+			if haveEQ && p.Int != eq {
+				return nil, true
+			}
+			eq, haveEQ = p.Int, true
+		}
+	}
+	if haveEQ {
+		if (haveLB && eq <= lb) || (haveUB && eq >= ub) {
+			return nil, true
+		}
+		return []Predicate{EqInt(attr, eq)}, false
+	}
+	if haveLB && haveUB {
+		if ub <= lb+1 { // no integer strictly between lb and ub
+			return nil, true
+		}
+		if ub == lb+2 { // exactly one integer in the open interval
+			return []Predicate{EqInt(attr, lb+1)}, false
+		}
+		return []Predicate{Gt(attr, lb), Lt(attr, ub)}, false
+	}
+	if haveLB {
+		return []Predicate{Gt(attr, lb)}, false
+	}
+	return []Predicate{Lt(attr, ub)}, false
+}
+
+// canonString drops string predicates implied by stronger ones, collapses
+// onto an equality when present, and detects unsatisfiable combinations
+// (two incomparable prefixes, two incomparable suffixes, or an equality
+// violating a wildcard).
+func canonString(preds []Predicate) (canon []Predicate, empty bool) {
+	for _, p := range preds {
+		if p.Op != OpEQ {
+			continue
+		}
+		// An equality pins the value: every other predicate must accept it.
+		v := StringValue(p.Str)
+		for _, q := range preds {
+			if !q.Matches(v) {
+				return nil, true
+			}
+		}
+		return []Predicate{p}, false
+	}
+	// Keep only the minimal (strongest) predicates: drop p when some other
+	// predicate q is at least as strong (p ⊇ q); ties by index keep the
+	// first occurrence.
+	kept := preds[:0:0]
+	for i, p := range preds {
+		dropped := false
+		for j, q := range preds {
+			if i == j {
+				continue
+			}
+			if p.Includes(q) && (!q.Includes(p) || j < i) {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			kept = append(kept, p)
+		}
+	}
+	nPrefix, nSuffix := 0, 0
+	for _, p := range kept {
+		switch p.Op {
+		case OpPrefix:
+			nPrefix++
+		case OpSuffix:
+			nSuffix++
+		}
+	}
+	// Two surviving prefixes are incomparable (neither a prefix of the
+	// other) and no value can start with both. Likewise for suffixes.
+	if nPrefix > 1 || nSuffix > 1 {
+		return nil, true
+	}
+	return kept, false
+}
+
+// Attr returns the constrained attribute name.
+func (f AttrFilter) Attr() string { return f.attr }
+
+// IsUniversal reports whether the filter matches every value (root label).
+func (f AttrFilter) IsUniversal() bool { return f.universal }
+
+// IsEmpty reports whether the conjunction is unsatisfiable.
+func (f AttrFilter) IsEmpty() bool { return f.empty }
+
+// IsZero reports whether the filter is the zero value (no attribute).
+func (f AttrFilter) IsZero() bool { return f.attr == "" }
+
+// Predicates returns a copy of the canonical predicates. Universal and
+// empty filters have none.
+func (f AttrFilter) Predicates() []Predicate {
+	out := make([]Predicate, len(f.preds))
+	copy(out, f.preds)
+	return out
+}
+
+// Matches reports whether the value satisfies the whole conjunction.
+func (f AttrFilter) Matches(v Value) bool {
+	if f.empty {
+		return false
+	}
+	if f.universal {
+		return true
+	}
+	for i := range f.preds {
+		if !f.preds[i].Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesEvent reports whether the event carries a value for the filter's
+// attribute that satisfies the filter.
+func (f AttrFilter) MatchesEvent(e Event) bool {
+	v, ok := e.Value(f.attr)
+	return ok && f.Matches(v)
+}
+
+// Includes reports whether f includes g: every value matching g matches f.
+// For canonical integer filters the decision is exact; for string filters
+// it is the sound syntactic rule "every predicate of f is implied by some
+// predicate of g", which can only under-approximate inclusion (never
+// over-approximate), preserving routing correctness.
+func (f AttrFilter) Includes(g AttrFilter) bool {
+	if f.attr != g.attr {
+		return false
+	}
+	if f.universal || g.empty {
+		return true
+	}
+	if f.empty || g.universal {
+		return false
+	}
+	for _, p := range f.preds {
+		implied := false
+		for _, q := range g.preds {
+			if p.Includes(q) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyIncludes reports g ⊂ f with f and g not equivalent.
+func (f AttrFilter) StrictlyIncludes(g AttrFilter) bool {
+	return f.Includes(g) && !g.Includes(f)
+}
+
+// SameExtension reports mutual inclusion.
+func (f AttrFilter) SameExtension(g AttrFilter) bool {
+	return f.Includes(g) && g.Includes(f)
+}
+
+// Key returns a canonical string identity: equal keys imply equivalent
+// filters, and canonicalisation makes the converse hold for all integer
+// filters and for string filters built from the same predicate set.
+func (f AttrFilter) Key() string {
+	switch {
+	case f.universal:
+		return f.attr + "\x00T"
+	case f.empty:
+		return f.attr + "\x00F"
+	default:
+		var b strings.Builder
+		b.Grow(32)
+		b.WriteString(f.attr)
+		b.WriteString("\x00:")
+		for i := range f.preds {
+			b.WriteByte(1)
+			b.WriteString(f.preds[i].Key())
+		}
+		return b.String()
+	}
+}
+
+// String renders the filter for humans.
+func (f AttrFilter) String() string {
+	switch {
+	case f.universal:
+		return f.attr + "=**"
+	case f.empty:
+		return f.attr + "∈∅"
+	default:
+		parts := make([]string, len(f.preds))
+		for i := range f.preds {
+			parts[i] = f.preds[i].String()
+		}
+		return strings.Join(parts, " && ")
+	}
+}
+
+// SubscriptionFilters splits a subscription into one attribute filter per
+// distinct attribute, in order of first appearance. This is the unit a
+// subscriber presents to the overlay: it joins one tree, at the group of
+// the corresponding attribute filter.
+func SubscriptionFilters(s Subscription) ([]AttrFilter, error) {
+	attrs := s.Attributes()
+	out := make([]AttrFilter, 0, len(attrs))
+	for _, attr := range attrs {
+		f, err := NewAttrFilter(attr, s.PredicatesOn(attr))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

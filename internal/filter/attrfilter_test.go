@@ -1,0 +1,280 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrFilterCanonicalisation(t *testing.T) {
+	tests := []struct {
+		name  string
+		preds []Predicate
+		want  string // canonical String()
+	}{
+		{"single bound", []Predicate{Gt("a", 2)}, "a>2"},
+		{"range keeps both", []Predicate{Gt("a", 2), Lt("a", 20)}, "a>2 && a<20"},
+		{"merge lower bounds", []Predicate{Gt("a", 2), Gt("a", 5)}, "a>5"},
+		{"merge upper bounds", []Predicate{Lt("a", 20), Lt("a", 11)}, "a<11"},
+		{"eq collapses range", []Predicate{Gt("a", 2), Lt("a", 20), EqInt("a", 4)}, "a=4"},
+		{"two-value interval collapses", []Predicate{Gt("a", 3), Lt("a", 5)}, "a=4"},
+		{"any dropped", []Predicate{Gt("a", 2), Any("a")}, "a>2"},
+		{"string implied dropped", []Predicate{Prefix("a", "ab"), Prefix("a", "abc")}, `a="abc"*`},
+		{"eq pins string", []Predicate{Prefix("a", "ab"), EqStr("a", "abc")}, `a="abc"`},
+		{"duplicate preds", []Predicate{Gt("a", 2), Gt("a", 2)}, "a>2"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := MustAttrFilter("a", tt.preds...)
+			if got := f.String(); got != tt.want {
+				t.Errorf("canonical form = %q, want %q", got, tt.want)
+			}
+			if f.IsEmpty() {
+				t.Error("unexpected empty filter")
+			}
+		})
+	}
+}
+
+func TestAttrFilterEmptyDetection(t *testing.T) {
+	empties := [][]Predicate{
+		{Gt("a", 10), Lt("a", 5)},
+		{Gt("a", 4), Lt("a", 5)}, // no integer strictly between
+		{EqInt("a", 1), EqInt("a", 2)},
+		{EqInt("a", 10), Lt("a", 5)},
+		{EqInt("a", 1), Gt("a", 5)},
+		{Gt("a", 1), EqStr("a", "x")},          // type conflict
+		{Prefix("a", "ab"), Prefix("a", "ba")}, // incomparable prefixes
+		{Suffix("a", "ab"), Suffix("a", "ba")}, // incomparable suffixes
+		{EqStr("a", "xy"), Prefix("a", "ab")},  // eq violates wildcard
+	}
+	for _, preds := range empties {
+		f := MustAttrFilter("a", preds...)
+		if !f.IsEmpty() {
+			t.Errorf("filter %v should be empty", preds)
+		}
+		if f.Matches(IntValue(3)) || f.Matches(StringValue("ab")) {
+			t.Errorf("empty filter %v matched a value", preds)
+		}
+	}
+	// prefix+suffix+contains are jointly satisfiable and must survive.
+	f := MustAttrFilter("a", Prefix("a", "ab"), Suffix("a", "yz"), Contains("a", "q"))
+	if f.IsEmpty() {
+		t.Error("prefix+suffix+contains wrongly marked empty")
+	}
+	if !f.Matches(StringValue("abqyz")) {
+		t.Error("satisfying value rejected")
+	}
+}
+
+func TestAttrFilterUniversal(t *testing.T) {
+	u := UniversalFilter("a")
+	if !u.IsUniversal() || u.IsEmpty() {
+		t.Fatal("universal filter flags wrong")
+	}
+	if !u.Matches(IntValue(0)) || !u.Matches(StringValue("x")) {
+		t.Error("universal filter must match everything")
+	}
+	if got := MustAttrFilter("a", Any("a")); !got.IsUniversal() {
+		t.Error("filter of only OpAny should canonicalise to universal")
+	}
+	if !u.Includes(MustAttrFilter("a", Gt("a", 2))) {
+		t.Error("universal must include everything")
+	}
+	if MustAttrFilter("a", Gt("a", 2)).Includes(u) {
+		t.Error("nothing narrower includes the universal filter")
+	}
+}
+
+func TestAttrFilterMatches(t *testing.T) {
+	rng := MustAttrFilter("a", Gt("a", 2), Lt("a", 20))
+	tests := []struct {
+		v    Value
+		want bool
+	}{
+		{IntValue(3), true},
+		{IntValue(19), true},
+		{IntValue(2), false},
+		{IntValue(20), false},
+		{StringValue("5"), false},
+	}
+	for _, tt := range tests {
+		if got := rng.Matches(tt.v); got != tt.want {
+			t.Errorf("range.Matches(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+	ev := MustEvent(Assignment{Attr: "a", Val: IntValue(10)})
+	if !rng.MatchesEvent(ev) {
+		t.Error("MatchesEvent failed on matching event")
+	}
+	evOther := MustEvent(Assignment{Attr: "b", Val: IntValue(10)})
+	if rng.MatchesEvent(evOther) {
+		t.Error("MatchesEvent matched event without the attribute")
+	}
+}
+
+func TestAttrFilterIncludes(t *testing.T) {
+	mk := func(preds ...Predicate) AttrFilter { return MustAttrFilter("a", preds...) }
+	tests := []struct {
+		name string
+		f, g AttrFilter
+		want bool
+	}{
+		{"wider range", mk(Gt("a", 0), Lt("a", 100)), mk(Gt("a", 10), Lt("a", 20)), true},
+		{"narrower range", mk(Gt("a", 10), Lt("a", 20)), mk(Gt("a", 0), Lt("a", 100)), false},
+		{"overlap incomparable", mk(Gt("a", 0), Lt("a", 15)), mk(Gt("a", 10), Lt("a", 20)), false},
+		{"bound includes range", mk(Gt("a", 2)), mk(Gt("a", 5), Lt("a", 10)), true},
+		{"range excludes bound", mk(Gt("a", 2), Lt("a", 50)), mk(Gt("a", 5)), false},
+		{"point in range", mk(Gt("a", 2), Lt("a", 20)), mk(EqInt("a", 4)), true},
+		{"point out of range", mk(Gt("a", 2), Lt("a", 20)), mk(EqInt("a", 25)), false},
+		{"same filter", mk(Gt("a", 2)), mk(Gt("a", 2)), true},
+		{"string prefix widens", mk(Prefix("a", "ab")), mk(Prefix("a", "abc"), Suffix("a", "z")), true},
+		{"different attr", MustAttrFilter("b", Gt("b", 2)), mk(Gt("a", 5)), false},
+		{"empty included everywhere", mk(Gt("a", 2)), mk(Gt("a", 10), Lt("a", 5)), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Includes(tt.g); got != tt.want {
+				t.Errorf("(%v).Includes(%v) = %v, want %v", tt.f, tt.g, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAttrFilterKeyCanonical(t *testing.T) {
+	a := MustAttrFilter("a", Gt("a", 2), Lt("a", 20))
+	b := MustAttrFilter("a", Lt("a", 20), Gt("a", 2), Gt("a", 0))
+	if a.Key() != b.Key() {
+		t.Errorf("equivalent filters have different keys: %q vs %q", a.Key(), b.Key())
+	}
+	c := MustAttrFilter("a", Gt("a", 3), Lt("a", 20))
+	if a.Key() == c.Key() {
+		t.Error("different filters share a key")
+	}
+	if UniversalFilter("a").Key() == UniversalFilter("b").Key() {
+		t.Error("universal keys must embed the attribute")
+	}
+}
+
+func TestSubscriptionFilters(t *testing.T) {
+	sub := MustSubscription(Gt("a", 2), Lt("a", 20), Gt("b", 0), Prefix("c", "ab"))
+	fs, err := SubscriptionFilters(sub)
+	if err != nil {
+		t.Fatalf("SubscriptionFilters: %v", err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("got %d filters, want 3", len(fs))
+	}
+	if fs[0].Attr() != "a" || fs[1].Attr() != "b" || fs[2].Attr() != "c" {
+		t.Errorf("attribute order wrong: %v", fs)
+	}
+	if fs[0].String() != "a>2 && a<20" {
+		t.Errorf("filter on a = %q", fs[0])
+	}
+}
+
+// randomAttrFilter builds filters from the small predicate universe.
+func randomAttrFilter(r *rand.Rand, attr string) AttrFilter {
+	n := 1 + r.Intn(3)
+	preds := make([]Predicate, 0, n)
+	for i := 0; i < n; i++ {
+		p := randomPredicate(r)
+		p.Attr = attr
+		preds = append(preds, p)
+	}
+	f, err := NewAttrFilter(attr, preds)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Canonicalisation must preserve the matched set.
+func TestAttrFilterCanonPreservesSemantics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		preds := make([]Predicate, 0, n)
+		for i := 0; i < n; i++ {
+			p := randomPredicate(r)
+			p.Attr = "a"
+			preds = append(preds, p)
+		}
+		f := MustAttrFilter("a", preds...)
+		v := randomValue(r)
+		raw := true
+		for _, p := range preds {
+			if !p.Matches(v) {
+				raw = false
+				break
+			}
+		}
+		if f.Matches(v) != raw {
+			t.Logf("canon broke semantics: preds=%v canon=%v v=%v raw=%v", preds, f, v, raw)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Inclusion soundness on filters: f ⊇ g and g.Matches(v) imply f.Matches(v).
+func TestAttrFilterInclusionSoundness(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomAttrFilter(r, "a")
+		g := randomAttrFilter(r, "a")
+		v := randomValue(r)
+		if f.Includes(g) && g.Matches(v) && !f.Matches(v) {
+			t.Logf("violation: f=%v g=%v v=%v", f, g, v)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Inclusion transitivity on filters.
+func TestAttrFilterInclusionTransitive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 4000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAttrFilter(r, "a")
+		b := randomAttrFilter(r, "a")
+		c := randomAttrFilter(r, "a")
+		if a.Includes(b) && b.Includes(c) && !a.Includes(c) {
+			t.Logf("violation: a=%v b=%v c=%v", a, b, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Key equality must imply semantic equivalence (never collide across
+// different value sets).
+func TestAttrFilterKeySoundness(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 4000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomAttrFilter(r, "a")
+		g := randomAttrFilter(r, "a")
+		v := randomValue(r)
+		if f.Key() == g.Key() && f.Matches(v) != g.Matches(v) {
+			t.Logf("key collision with different semantics: f=%v g=%v v=%v", f, g, v)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,465 @@
+// Package filter implements the content-based data model of the DPS
+// publish/subscribe system (Anceaume et al., ICDCS 2006, §2).
+//
+// Subscriptions are conjunctions of predicates of the form (attr op const);
+// events are conjunctions of equalities (attr = value). The attribute
+// universe is unbounded and untyped a priori: each predicate carries its own
+// type, and no coordination on an event schema is required.
+//
+// The package provides matching (event-vs-predicate, event-vs-subscription)
+// and the predicate inclusion relation (paper Def. 3) on which the semantic
+// overlay's group-predecessor ordering is built.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type identifies the type of an attribute value or predicate operand.
+type Type uint8
+
+// Supported attribute types. The paper's model is generic over typed
+// attributes; integers and strings are the two types exercised by its
+// evaluation (numeric ranges, string wildcards).
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeString
+)
+
+// String returns a human-readable type name.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Op is a predicate operator.
+type Op uint8
+
+// Predicate operators. Numeric predicates use {=, <, >} as in the paper;
+// >= and <= are accepted by the constructors and canonicalised to > and <
+// (integer domain). String predicates support equality plus prefix, suffix
+// and substring wildcards. OpAny is the universal predicate used as the
+// label of tree roots: it matches every value of its attribute.
+const (
+	OpInvalid Op = iota
+	OpAny
+	OpEQ
+	OpGT
+	OpLT
+	OpPrefix
+	OpSuffix
+	OpContains
+)
+
+// String returns the operator's symbolic form.
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "*"
+	case OpEQ:
+		return "="
+	case OpGT:
+		return ">"
+	case OpLT:
+		return "<"
+	case OpPrefix:
+		return "=p*"
+	case OpSuffix:
+		return "=*s"
+	case OpContains:
+		return "=*s*"
+	default:
+		return "?"
+	}
+}
+
+// Value is a typed attribute value appearing in an event.
+type Value struct {
+	Type Type
+	Int  int64
+	Str  string
+}
+
+// IntValue returns an integer attribute value.
+func IntValue(v int64) Value { return Value{Type: TypeInt, Int: v} }
+
+// StringValue returns a string attribute value.
+func StringValue(s string) Value { return Value{Type: TypeString, Str: s} }
+
+// Equal reports whether two values have the same type and content.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case TypeInt:
+		return v.Int == o.Int
+	case TypeString:
+		return v.Str == o.Str
+	default:
+		return true
+	}
+}
+
+// String renders the value; string values are rendered verbatim.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeInt:
+		return strconv.FormatInt(v.Int, 10)
+	case TypeString:
+		return v.Str
+	default:
+		return "<invalid>"
+	}
+}
+
+// Predicate is an elementary filter (attr op operand) — the AF of the paper.
+// The operand lives in Int or Str according to Type. Predicates should be
+// built with the constructors (Gt, Lt, EqInt, EqStr, Prefix, Suffix,
+// Contains, Any) which canonicalise and validate; the zero Predicate is
+// invalid.
+type Predicate struct {
+	Attr string
+	Type Type
+	Op   Op
+	Int  int64
+	Str  string
+}
+
+// Any returns the universal predicate on attr: it matches every value
+// published under attr regardless of type. Tree roots are labelled with it.
+func Any(attr string) Predicate {
+	return Predicate{Attr: attr, Op: OpAny}
+}
+
+// Gt returns the numeric predicate attr > c.
+func Gt(attr string, c int64) Predicate {
+	return Predicate{Attr: attr, Type: TypeInt, Op: OpGT, Int: c}
+}
+
+// Ge returns attr >= c canonicalised to attr > c-1 (integer domain).
+// Ge(attr, MinInt64) cannot be represented as a strict bound and is returned
+// as the universal numeric check Gt(attr, MinInt64) which matches every
+// integer except MinInt64 itself; callers needing the degenerate bound
+// should use Any.
+func Ge(attr string, c int64) Predicate {
+	if c == math.MinInt64 {
+		return Gt(attr, math.MinInt64) // loses only MinInt64 itself
+	}
+	return Gt(attr, c-1)
+}
+
+// Lt returns the numeric predicate attr < c.
+func Lt(attr string, c int64) Predicate {
+	return Predicate{Attr: attr, Type: TypeInt, Op: OpLT, Int: c}
+}
+
+// Le returns attr <= c canonicalised to attr < c+1 (integer domain).
+func Le(attr string, c int64) Predicate {
+	if c == math.MaxInt64 {
+		return Lt(attr, math.MaxInt64)
+	}
+	return Lt(attr, c+1)
+}
+
+// EqInt returns the numeric equality predicate attr = v.
+func EqInt(attr string, v int64) Predicate {
+	return Predicate{Attr: attr, Type: TypeInt, Op: OpEQ, Int: v}
+}
+
+// EqStr returns the string equality predicate attr = s.
+func EqStr(attr, s string) Predicate {
+	return Predicate{Attr: attr, Type: TypeString, Op: OpEQ, Str: s}
+}
+
+// Prefix returns the string predicate "attr = s*" (values starting with s).
+func Prefix(attr, s string) Predicate {
+	return Predicate{Attr: attr, Type: TypeString, Op: OpPrefix, Str: s}
+}
+
+// Suffix returns the string predicate "attr = *s" (values ending with s).
+func Suffix(attr, s string) Predicate {
+	return Predicate{Attr: attr, Type: TypeString, Op: OpSuffix, Str: s}
+}
+
+// Contains returns the string predicate "attr = *s*" (values containing s).
+func Contains(attr, s string) Predicate {
+	return Predicate{Attr: attr, Type: TypeString, Op: OpContains, Str: s}
+}
+
+// Validate reports whether the predicate is well formed.
+func (p Predicate) Validate() error {
+	if p.Attr == "" {
+		return errors.New("filter: predicate has empty attribute name")
+	}
+	switch p.Op {
+	case OpAny:
+		return nil
+	case OpEQ:
+		if p.Type != TypeInt && p.Type != TypeString {
+			return fmt.Errorf("filter: equality predicate on %q has invalid type", p.Attr)
+		}
+		return nil
+	case OpGT, OpLT:
+		if p.Type != TypeInt {
+			return fmt.Errorf("filter: ordering predicate on %q requires int type", p.Attr)
+		}
+		return nil
+	case OpPrefix, OpSuffix, OpContains:
+		if p.Type != TypeString {
+			return fmt.Errorf("filter: wildcard predicate on %q requires string type", p.Attr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("filter: predicate on %q has invalid operator", p.Attr)
+	}
+}
+
+// Matches reports whether an attribute value satisfies the predicate
+// (the paper's AV ∈ AF). The attribute names are compared by the caller;
+// Matches only checks the value against the operator and operand.
+func (p Predicate) Matches(v Value) bool {
+	if p.Op == OpAny {
+		return true
+	}
+	if v.Type != p.Type {
+		return false
+	}
+	switch p.Op {
+	case OpEQ:
+		if p.Type == TypeInt {
+			return v.Int == p.Int
+		}
+		return v.Str == p.Str
+	case OpGT:
+		return v.Int > p.Int
+	case OpLT:
+		return v.Int < p.Int
+	case OpPrefix:
+		return strings.HasPrefix(v.Str, p.Str)
+	case OpSuffix:
+		return strings.HasSuffix(v.Str, p.Str)
+	case OpContains:
+		return strings.Contains(v.Str, p.Str)
+	default:
+		return false
+	}
+}
+
+// Equal reports structural equality of two predicates. Because the
+// constructors canonicalise >= and <=, structural equality coincides with
+// semantic equality for all predicates produced through them.
+func (p Predicate) Equal(q Predicate) bool {
+	return p.Attr == q.Attr && p.Type == q.Type && p.Op == q.Op &&
+		p.Int == q.Int && p.Str == q.Str
+}
+
+// Key returns a compact canonical encoding usable as a map key and as the
+// group identity in the overlay (two subscribers are similar iff their
+// predicates have equal keys — paper Def. 1).
+func (p Predicate) Key() string {
+	var b strings.Builder
+	b.Grow(len(p.Attr) + len(p.Str) + 24)
+	b.WriteString(p.Attr)
+	b.WriteByte(0)
+	b.WriteByte(byte('0' + p.Op))
+	b.WriteByte(byte('0' + p.Type))
+	b.WriteByte(0)
+	if p.Type == TypeInt {
+		b.WriteString(strconv.FormatInt(p.Int, 10))
+	} else {
+		b.WriteString(p.Str)
+	}
+	return b.String()
+}
+
+// String renders the predicate in the parseable syntax of this package,
+// e.g. `a>2`, `c="ab"*`, `name="*core*"`.
+func (p Predicate) String() string {
+	switch p.Op {
+	case OpAny:
+		return p.Attr + "=**"
+	case OpEQ:
+		if p.Type == TypeInt {
+			return p.Attr + "=" + strconv.FormatInt(p.Int, 10)
+		}
+		return p.Attr + "=" + strconv.Quote(p.Str)
+	case OpGT:
+		return p.Attr + ">" + strconv.FormatInt(p.Int, 10)
+	case OpLT:
+		return p.Attr + "<" + strconv.FormatInt(p.Int, 10)
+	case OpPrefix:
+		return p.Attr + "=" + strconv.Quote(p.Str) + "*"
+	case OpSuffix:
+		return p.Attr + "=*" + strconv.Quote(p.Str)
+	case OpContains:
+		return p.Attr + "=*" + strconv.Quote(p.Str) + "*"
+	default:
+		return p.Attr + "?<invalid>"
+	}
+}
+
+// Assignment is one (attribute = value) pair of an event.
+type Assignment struct {
+	Attr string
+	Val  Value
+}
+
+// Event is a conjunction of equalities over attributes (the paper's
+// E = AV1 ∧ ... ∧ AVk). Attribute names are unique within an event.
+type Event []Assignment
+
+// NewEvent builds an event from assignments, rejecting duplicate attributes
+// and invalid values. The assignments are sorted by attribute name so that
+// events render and hash deterministically.
+func NewEvent(assignments ...Assignment) (Event, error) {
+	e := make(Event, len(assignments))
+	copy(e, assignments)
+	sort.Slice(e, func(i, j int) bool { return e[i].Attr < e[j].Attr })
+	for i := range e {
+		if e[i].Attr == "" {
+			return nil, errors.New("filter: event has empty attribute name")
+		}
+		if e[i].Val.Type != TypeInt && e[i].Val.Type != TypeString {
+			return nil, fmt.Errorf("filter: event attribute %q has invalid value type", e[i].Attr)
+		}
+		if i > 0 && e[i].Attr == e[i-1].Attr {
+			return nil, fmt.Errorf("filter: duplicate event attribute %q", e[i].Attr)
+		}
+	}
+	return e, nil
+}
+
+// MustEvent is NewEvent for statically-known-good inputs (tests, examples).
+// It panics on error.
+func MustEvent(assignments ...Assignment) Event {
+	e, err := NewEvent(assignments...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Value returns the value published for attr, if any.
+func (e Event) Value(attr string) (Value, bool) {
+	for i := range e {
+		if e[i].Attr == attr {
+			return e[i].Val, true
+		}
+	}
+	return Value{}, false
+}
+
+// MatchesPredicate reports whether the event satisfies a single predicate:
+// the attribute must be present and its value must match.
+func (e Event) MatchesPredicate(p Predicate) bool {
+	v, ok := e.Value(p.Attr)
+	return ok && p.Matches(v)
+}
+
+// String renders the event as comma-separated assignments.
+func (e Event) String() string {
+	var b strings.Builder
+	for i := range e {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e[i].Attr)
+		b.WriteByte('=')
+		if e[i].Val.Type == TypeString {
+			b.WriteString(strconv.Quote(e[i].Val.Str))
+		} else {
+			b.WriteString(e[i].Val.String())
+		}
+	}
+	return b.String()
+}
+
+// Subscription is a conjunction of predicates (the paper's
+// F = AF1 ∧ ... ∧ AFj).
+type Subscription []Predicate
+
+// NewSubscription validates and returns a subscription over the given
+// predicates. At least one predicate is required.
+func NewSubscription(preds ...Predicate) (Subscription, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("filter: subscription needs at least one predicate")
+	}
+	s := make(Subscription, len(preds))
+	copy(s, preds)
+	for i := range s {
+		if err := s[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSubscription is NewSubscription for statically-known-good inputs.
+// It panics on error.
+func MustSubscription(preds ...Predicate) Subscription {
+	s, err := NewSubscription(preds...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Matches reports whether the event satisfies every predicate of the
+// subscription (the paper's matching rule: for all predicates a
+// corresponding matching value appears in the event).
+func (s Subscription) Matches(e Event) bool {
+	for i := range s {
+		if !e.MatchesPredicate(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Attributes returns the distinct attribute names referenced by the
+// subscription, in order of first appearance.
+func (s Subscription) Attributes() []string {
+	attrs := make([]string, 0, len(s))
+	seen := make(map[string]bool, len(s))
+	for i := range s {
+		if !seen[s[i].Attr] {
+			seen[s[i].Attr] = true
+			attrs = append(attrs, s[i].Attr)
+		}
+	}
+	return attrs
+}
+
+// PredicatesOn returns the predicates of the subscription that constrain
+// the given attribute, in subscription order.
+func (s Subscription) PredicatesOn(attr string) []Predicate {
+	var out []Predicate
+	for i := range s {
+		if s[i].Attr == attr {
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+// String renders the subscription as "p1 && p2 && ...".
+func (s Subscription) String() string {
+	parts := make([]string, len(s))
+	for i := range s {
+		parts[i] = s[i].String()
+	}
+	return strings.Join(parts, " && ")
+}

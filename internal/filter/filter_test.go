@@ -1,0 +1,267 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredicateMatchesInt(t *testing.T) {
+	tests := []struct {
+		name string
+		pred Predicate
+		val  Value
+		want bool
+	}{
+		{"gt true", Gt("a", 2), IntValue(3), true},
+		{"gt boundary", Gt("a", 2), IntValue(2), false},
+		{"gt false", Gt("a", 2), IntValue(1), false},
+		{"lt true", Lt("a", 20), IntValue(19), true},
+		{"lt boundary", Lt("a", 20), IntValue(20), false},
+		{"eq true", EqInt("a", 4), IntValue(4), true},
+		{"eq false", EqInt("a", 4), IntValue(5), false},
+		{"ge canonical", Ge("a", 3), IntValue(3), true},
+		{"ge below", Ge("a", 3), IntValue(2), false},
+		{"le canonical", Le("a", 3), IntValue(3), true},
+		{"le above", Le("a", 3), IntValue(4), false},
+		{"type mismatch", Gt("a", 2), StringValue("3"), false},
+		{"any matches int", Any("a"), IntValue(-7), true},
+		{"any matches string", Any("a"), StringValue("x"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pred.Matches(tt.val); got != tt.want {
+				t.Errorf("%v.Matches(%v) = %v, want %v", tt.pred, tt.val, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPredicateMatchesString(t *testing.T) {
+	tests := []struct {
+		name string
+		pred Predicate
+		val  Value
+		want bool
+	}{
+		{"eq true", EqStr("c", "abc"), StringValue("abc"), true},
+		{"eq false", EqStr("c", "abc"), StringValue("abd"), false},
+		{"prefix true", Prefix("c", "ab"), StringValue("abc"), true},
+		{"prefix exact", Prefix("c", "ab"), StringValue("ab"), true},
+		{"prefix false", Prefix("c", "ab"), StringValue("ba"), false},
+		{"suffix true", Suffix("c", "bc"), StringValue("abc"), true},
+		{"suffix false", Suffix("c", "bc"), StringValue("bca"), false},
+		{"contains true", Contains("c", "b"), StringValue("abc"), true},
+		{"contains false", Contains("c", "z"), StringValue("abc"), false},
+		{"empty prefix universal", Prefix("c", ""), StringValue("anything"), true},
+		{"type mismatch", Prefix("c", "ab"), IntValue(1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pred.Matches(tt.val); got != tt.want {
+				t.Errorf("%v.Matches(%v) = %v, want %v", tt.pred, tt.val, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	valid := []Predicate{
+		Gt("a", 1), Lt("a", 1), EqInt("a", 1), EqStr("a", "x"),
+		Prefix("a", "x"), Suffix("a", "x"), Contains("a", "x"), Any("a"),
+	}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", p, err)
+		}
+	}
+	invalid := []Predicate{
+		{},
+		{Attr: "", Op: OpGT, Type: TypeInt},
+		{Attr: "a", Op: OpGT, Type: TypeString, Str: "x"},
+		{Attr: "a", Op: OpPrefix, Type: TypeInt, Int: 3},
+		{Attr: "a", Op: OpInvalid},
+	}
+	for _, p := range invalid {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestPredicateKeyUniqueness(t *testing.T) {
+	preds := []Predicate{
+		Gt("a", 2), Gt("a", 3), Lt("a", 2), EqInt("a", 2),
+		Gt("b", 2), EqStr("a", "2"), Prefix("a", "2"), Suffix("a", "2"),
+		Contains("a", "2"), Any("a"), Any("b"),
+	}
+	seen := make(map[string]Predicate, len(preds))
+	for _, p := range preds {
+		k := p.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key collision: %v and %v both map to %q", prev, p, k)
+		}
+		seen[k] = p
+	}
+}
+
+func TestKeyEqualConsistency(t *testing.T) {
+	preds := []Predicate{Gt("a", 2), Gt("a", 2), Ge("a", 3), EqStr("s", "x")}
+	for _, p := range preds {
+		for _, q := range preds {
+			if (p.Key() == q.Key()) != p.Equal(q) {
+				t.Errorf("Key/Equal disagree for %v vs %v", p, q)
+			}
+		}
+	}
+}
+
+func TestGeLeCanonicalisation(t *testing.T) {
+	if !Ge("a", 3).Equal(Gt("a", 2)) {
+		t.Errorf("Ge(a,3) = %v, want Gt(a,2)", Ge("a", 3))
+	}
+	if !Le("a", 3).Equal(Lt("a", 4)) {
+		t.Errorf("Le(a,3) = %v, want Lt(a,4)", Le("a", 3))
+	}
+}
+
+func TestNewEvent(t *testing.T) {
+	e, err := NewEvent(
+		Assignment{Attr: "b", Val: IntValue(1)},
+		Assignment{Attr: "a", Val: StringValue("x")},
+	)
+	if err != nil {
+		t.Fatalf("NewEvent: %v", err)
+	}
+	if e[0].Attr != "a" || e[1].Attr != "b" {
+		t.Errorf("event not sorted: %v", e)
+	}
+	if v, ok := e.Value("b"); !ok || v.Int != 1 {
+		t.Errorf("Value(b) = %v, %v", v, ok)
+	}
+	if _, ok := e.Value("missing"); ok {
+		t.Error("Value(missing) reported present")
+	}
+}
+
+func TestNewEventErrors(t *testing.T) {
+	if _, err := NewEvent(
+		Assignment{Attr: "a", Val: IntValue(1)},
+		Assignment{Attr: "a", Val: IntValue(2)},
+	); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewEvent(Assignment{Attr: "", Val: IntValue(1)}); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	if _, err := NewEvent(Assignment{Attr: "a"}); err == nil {
+		t.Error("invalid value type accepted")
+	}
+}
+
+func TestSubscriptionMatches(t *testing.T) {
+	sub := MustSubscription(Gt("a", 2), Lt("a", 20), Prefix("c", "ab"))
+	tests := []struct {
+		name  string
+		event Event
+		want  bool
+	}{
+		{
+			"full match",
+			MustEvent(
+				Assignment{Attr: "a", Val: IntValue(10)},
+				Assignment{Attr: "c", Val: StringValue("abc")},
+			),
+			true,
+		},
+		{
+			"range violated",
+			MustEvent(
+				Assignment{Attr: "a", Val: IntValue(25)},
+				Assignment{Attr: "c", Val: StringValue("abc")},
+			),
+			false,
+		},
+		{
+			"missing attribute",
+			MustEvent(Assignment{Attr: "a", Val: IntValue(10)}),
+			false,
+		},
+		{
+			"extra attributes fine",
+			MustEvent(
+				Assignment{Attr: "a", Val: IntValue(3)},
+				Assignment{Attr: "c", Val: StringValue("ab")},
+				Assignment{Attr: "z", Val: IntValue(0)},
+			),
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := sub.Matches(tt.event); got != tt.want {
+				t.Errorf("Matches(%v) = %v, want %v", tt.event, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEmptySubscriptionRejected(t *testing.T) {
+	if _, err := NewSubscription(); err == nil {
+		t.Error("empty subscription accepted")
+	}
+	var empty Subscription
+	if empty.Matches(MustEvent(Assignment{Attr: "a", Val: IntValue(1)})) {
+		t.Error("zero-value subscription matched an event")
+	}
+}
+
+func TestSubscriptionAttributes(t *testing.T) {
+	sub := MustSubscription(Gt("a", 2), Lt("a", 20), Gt("b", 0), EqStr("c", "x"))
+	attrs := sub.Attributes()
+	want := []string{"a", "b", "c"}
+	if len(attrs) != len(want) {
+		t.Fatalf("Attributes() = %v, want %v", attrs, want)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Errorf("Attributes()[%d] = %q, want %q", i, attrs[i], want[i])
+		}
+	}
+	on := sub.PredicatesOn("a")
+	if len(on) != 2 || !on[0].Equal(Gt("a", 2)) || !on[1].Equal(Lt("a", 20)) {
+		t.Errorf("PredicatesOn(a) = %v", on)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	sub := MustSubscription(Gt("a", 2), Prefix("c", "ab"))
+	s := sub.String()
+	if !strings.Contains(s, "a>2") || !strings.Contains(s, "&&") {
+		t.Errorf("Subscription.String() = %q", s)
+	}
+	ev := MustEvent(
+		Assignment{Attr: "a", Val: IntValue(4)},
+		Assignment{Attr: "c", Val: StringValue("abc")},
+	)
+	if got := ev.String(); !strings.Contains(got, "a=4") || !strings.Contains(got, `c="abc"`) {
+		t.Errorf("Event.String() = %q", got)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{IntValue(1), IntValue(1), true},
+		{IntValue(1), IntValue(2), false},
+		{StringValue("a"), StringValue("a"), true},
+		{StringValue("a"), StringValue("b"), false},
+		{IntValue(1), StringValue("1"), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

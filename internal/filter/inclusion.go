@@ -1,0 +1,202 @@
+package filter
+
+// This file implements the predicate-inclusion relation of the paper
+// (Def. 3): AF2 ⊂ AF1 iff every event value matching AF2 also matches AF1.
+// Inclusion is what orders semantic groups into trees (Def. 4, the group
+// predecessor relation).
+
+// Includes reports whether p includes q (q ⊆ p): every value matching q
+// also matches p. The relation is reflexive; use StrictlyIncludes for the
+// strict variant that orders the trees. Predicates on different attributes
+// are never related.
+func (p Predicate) Includes(q Predicate) bool {
+	if p.Attr != q.Attr {
+		return false
+	}
+	if p.Op == OpAny {
+		return true
+	}
+	if q.Op == OpAny {
+		return false // OpAny matches both types; nothing narrower includes it
+	}
+	if p.Type != q.Type {
+		return false
+	}
+	switch p.Type {
+	case TypeInt:
+		return includesInt(p, q)
+	case TypeString:
+		return includesString(p, q)
+	default:
+		return false
+	}
+}
+
+func includesInt(p, q Predicate) bool {
+	switch p.Op {
+	case OpGT:
+		switch q.Op {
+		case OpGT:
+			return q.Int >= p.Int
+		case OpEQ:
+			return q.Int > p.Int
+		default:
+			// q is LT: it admits arbitrarily small values, never inside GT.
+			return false
+		}
+	case OpLT:
+		switch q.Op {
+		case OpLT:
+			return q.Int <= p.Int
+		case OpEQ:
+			return q.Int < p.Int
+		default:
+			return false
+		}
+	case OpEQ:
+		// A single point includes only itself.
+		return q.Op == OpEQ && q.Int == p.Int
+	default:
+		return false
+	}
+}
+
+func includesString(p, q Predicate) bool {
+	switch p.Op {
+	case OpEQ:
+		return q.Op == OpEQ && q.Str == p.Str
+	case OpPrefix:
+		switch q.Op {
+		case OpEQ, OpPrefix:
+			return hasPrefix(q.Str, p.Str)
+		default:
+			// Suffix/contains patterns admit strings with arbitrary heads;
+			// only the empty prefix (universal over strings) includes them.
+			return p.Str == ""
+		}
+	case OpSuffix:
+		switch q.Op {
+		case OpEQ, OpSuffix:
+			return hasSuffix(q.Str, p.Str)
+		default:
+			return p.Str == ""
+		}
+	case OpContains:
+		// Every string matching q surely contains q's own pattern text, so
+		// p ⊇ q iff p's needle occurs inside q's pattern.
+		switch q.Op {
+		case OpEQ, OpPrefix, OpSuffix, OpContains:
+			return contains(q.Str, p.Str)
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
+
+// The three helpers mirror the strings package but keep this file's logic
+// free of repeated strings.X(q.Str, p.Str) argument-order mistakes: in all
+// three, the question is "does hay admit needle as prefix/suffix/substring".
+func hasPrefix(hay, needle string) bool {
+	return len(hay) >= len(needle) && hay[:len(needle)] == needle
+}
+
+func hasSuffix(hay, needle string) bool {
+	return len(hay) >= len(needle) && hay[len(hay)-len(needle):] == needle
+}
+
+func contains(hay, needle string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if hay[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// StrictlyIncludes reports whether p strictly includes q: q ⊂ p and the two
+// predicates do not denote the same value set. This is the ordering used by
+// the group predecessor relation.
+func (p Predicate) StrictlyIncludes(q Predicate) bool {
+	return p.Includes(q) && !q.Includes(p)
+}
+
+// SameExtension reports whether p and q denote exactly the same value set
+// (mutual inclusion). With canonicalising constructors this is equivalent
+// to structural equality, but the semantic definition is kept as the source
+// of truth for property tests.
+func (p Predicate) SameExtension(q Predicate) bool {
+	return p.Includes(q) && q.Includes(p)
+}
+
+// Comparable reports whether the two predicates are related by inclusion in
+// either direction. Incomparable predicates on the same attribute (e.g.
+// a>2 vs a<20) become siblings in the semantic tree.
+func (p Predicate) Comparable(q Predicate) bool {
+	return p.Includes(q) || q.Includes(p)
+}
+
+// ChainClass partitions predicates of one attribute into the insertion
+// chains used by the tree-construction constraints C1/C2.
+type ChainClass uint8
+
+// Chain classes. Within one class (and one attribute) any two predicates
+// are comparable, which is what makes chain insertion well defined:
+// greater-than predicates are totally ordered by their constant, and so on.
+// Equality predicates form their own class and are attached to a chain by
+// the C1 convention.
+const (
+	ChainInvalid ChainClass = iota
+	ChainGT                 // a > c         (deeper = larger c)
+	ChainLT                 // a < c         (deeper = smaller c)
+	ChainEqInt              // a = v         (attached under ChainGT by C1)
+	ChainPrefix             // a = s*        (deeper = longer s)
+	ChainSuffix             // a = *s        (deeper = longer s)
+	ChainSub                // a = *s*       (deeper = longer s)
+	ChainEqStr              // a = "s"       (attached under ChainPrefix by C1)
+	ChainAny                // tree root
+)
+
+// Chain returns the insertion chain of the predicate.
+func (p Predicate) Chain() ChainClass {
+	switch p.Op {
+	case OpAny:
+		return ChainAny
+	case OpGT:
+		return ChainGT
+	case OpLT:
+		return ChainLT
+	case OpEQ:
+		if p.Type == TypeInt {
+			return ChainEqInt
+		}
+		return ChainEqStr
+	case OpPrefix:
+		return ChainPrefix
+	case OpSuffix:
+		return ChainSuffix
+	case OpContains:
+		return ChainSub
+	default:
+		return ChainInvalid
+	}
+}
+
+// PrimaryChain returns the chain under which an "ambiguous" predicate is
+// placed by the constraint C1 convention of this implementation: integer
+// equalities live under the greater-than chain, string equalities under the
+// prefix chain. Non-ambiguous predicates are placed in their own chain.
+func (p Predicate) PrimaryChain() ChainClass {
+	switch c := p.Chain(); c {
+	case ChainEqInt:
+		return ChainGT
+	case ChainEqStr:
+		return ChainPrefix
+	default:
+		return c
+	}
+}

@@ -1,0 +1,247 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncludesInt(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Predicate
+		want bool
+	}{
+		{"gt widens gt", Gt("a", 2), Gt("a", 3), true},
+		{"gt equal bound", Gt("a", 2), Gt("a", 2), true},
+		{"gt not narrower", Gt("a", 3), Gt("a", 2), false},
+		{"gt includes eq", Gt("a", 2), EqInt("a", 4), true},
+		{"gt excludes eq boundary", Gt("a", 2), EqInt("a", 2), false},
+		{"gt never includes lt", Gt("a", 2), Lt("a", 100), false},
+		{"lt widens lt", Lt("a", 20), Lt("a", 11), true},
+		{"lt includes eq", Lt("a", 11), EqInt("a", 4), true},
+		{"lt excludes eq boundary", Lt("a", 11), EqInt("a", 11), false},
+		{"lt never includes gt", Lt("a", 100), Gt("a", 2), false},
+		{"eq includes only itself", EqInt("a", 4), EqInt("a", 4), true},
+		{"eq excludes other eq", EqInt("a", 4), EqInt("a", 5), false},
+		{"eq never includes gt", EqInt("a", 4), Gt("a", 3), false},
+		{"different attr", Gt("a", 2), Gt("b", 3), false},
+		{"any includes all", Any("a"), Gt("a", 2), true},
+		{"any includes string too", Any("a"), Prefix("a", "x"), true},
+		{"nothing includes any", Gt("a", 2), Any("a"), false},
+		{"any includes any", Any("a"), Any("a"), true},
+		{"type mismatch", Gt("a", 2), Prefix("a", "x"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Includes(tt.q); got != tt.want {
+				t.Errorf("%v.Includes(%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIncludesString(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Predicate
+		want bool
+	}{
+		{"prefix widens prefix", Prefix("c", "ab"), Prefix("c", "abc"), true},
+		{"prefix not narrower", Prefix("c", "abc"), Prefix("c", "ab"), false},
+		{"prefix includes eq", Prefix("c", "ab"), EqStr("c", "abc"), true},
+		{"prefix excludes unrelated eq", Prefix("c", "ab"), EqStr("c", "ba"), false},
+		{"suffix widens suffix", Suffix("c", "c"), Suffix("c", "bc"), true},
+		{"suffix includes eq", Suffix("c", "bc"), EqStr("c", "abc"), true},
+		{"contains widens contains", Contains("c", "b"), Contains("c", "abc"), true},
+		{"contains includes prefix", Contains("c", "ab"), Prefix("c", "xaby"), true},
+		{"contains not from prefix tail", Contains("c", "yz"), Prefix("c", "ab"), false},
+		{"contains includes suffix", Contains("c", "b"), Suffix("c", "abc"), true},
+		{"contains includes eq", Contains("c", "b"), EqStr("c", "abc"), true},
+		{"prefix never includes suffix", Prefix("c", "a"), Suffix("c", "a"), false},
+		{"empty prefix universal", Prefix("c", ""), Suffix("c", "xyz"), true},
+		{"empty suffix universal", Suffix("c", ""), Contains("c", "q"), true},
+		{"eq includes only same", EqStr("c", "ab"), EqStr("c", "ab"), true},
+		{"eq excludes prefix", EqStr("c", "ab"), Prefix("c", "ab"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Includes(tt.q); got != tt.want {
+				t.Errorf("%v.Includes(%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStrictlyIncludes(t *testing.T) {
+	if !Gt("a", 2).StrictlyIncludes(Gt("a", 3)) {
+		t.Error("Gt(2) should strictly include Gt(3)")
+	}
+	if Gt("a", 2).StrictlyIncludes(Gt("a", 2)) {
+		t.Error("a predicate must not strictly include itself")
+	}
+	if !Gt("a", 2).SameExtension(Ge("a", 3)) {
+		t.Error("Gt(2) and Ge(3) denote the same integer set")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if Gt("a", 2).Comparable(Lt("a", 20)) {
+		t.Error("Gt and Lt must be incomparable")
+	}
+	if !Gt("a", 2).Comparable(Gt("a", 5)) {
+		t.Error("two Gt on one attribute must be comparable")
+	}
+}
+
+func TestChainClassification(t *testing.T) {
+	tests := []struct {
+		pred    Predicate
+		chain   ChainClass
+		primary ChainClass
+	}{
+		{Gt("a", 1), ChainGT, ChainGT},
+		{Lt("a", 1), ChainLT, ChainLT},
+		{EqInt("a", 1), ChainEqInt, ChainGT},
+		{EqStr("a", "x"), ChainEqStr, ChainPrefix},
+		{Prefix("a", "x"), ChainPrefix, ChainPrefix},
+		{Suffix("a", "x"), ChainSuffix, ChainSuffix},
+		{Contains("a", "x"), ChainSub, ChainSub},
+		{Any("a"), ChainAny, ChainAny},
+	}
+	for _, tt := range tests {
+		if got := tt.pred.Chain(); got != tt.chain {
+			t.Errorf("%v.Chain() = %v, want %v", tt.pred, got, tt.chain)
+		}
+		if got := tt.pred.PrimaryChain(); got != tt.primary {
+			t.Errorf("%v.PrimaryChain() = %v, want %v", tt.pred, got, tt.primary)
+		}
+	}
+}
+
+// randomPredicate draws predicates from a small universe so that related
+// pairs occur with useful frequency under testing/quick.
+func randomPredicate(r *rand.Rand) Predicate {
+	attrs := []string{"a", "b"}
+	attr := attrs[r.Intn(len(attrs))]
+	words := []string{"", "a", "b", "ab", "ba", "abc", "bab", "abab"}
+	switch r.Intn(8) {
+	case 0:
+		return Gt(attr, int64(r.Intn(10)))
+	case 1:
+		return Lt(attr, int64(r.Intn(10)))
+	case 2:
+		return EqInt(attr, int64(r.Intn(10)))
+	case 3:
+		return EqStr(attr, words[r.Intn(len(words))])
+	case 4:
+		return Prefix(attr, words[r.Intn(len(words))])
+	case 5:
+		return Suffix(attr, words[r.Intn(len(words))])
+	case 6:
+		return Contains(attr, words[r.Intn(len(words))])
+	default:
+		return Any(attr)
+	}
+}
+
+// randomValue draws values over the same small universe.
+func randomValue(r *rand.Rand) Value {
+	if r.Intn(2) == 0 {
+		return IntValue(int64(r.Intn(12)) - 1)
+	}
+	words := []string{"", "a", "b", "ab", "ba", "abc", "bab", "abab", "xabx"}
+	return StringValue(words[r.Intn(len(words))])
+}
+
+// The defining property of inclusion: if p includes q, every value matching
+// q must match p (paper Def. 3). This is the semantic soundness check for
+// the syntactic inclusion rules.
+func TestInclusionSoundnessProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, v := randomPredicate(r), randomPredicate(r), randomValue(r)
+		if p.Includes(q) && q.Matches(v) && !p.Matches(v) {
+			t.Logf("violation: p=%v q=%v v=%v", p, q, v)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Inclusion must be transitive: q ⊆ p and r ⊆ q imply r ⊆ p.
+func TestInclusionTransitivityProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomPredicate(r), randomPredicate(r), randomPredicate(r)
+		if a.Includes(b) && b.Includes(c) && !a.Includes(c) {
+			t.Logf("violation: a=%v b=%v c=%v", a, b, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Inclusion must be reflexive, and strict inclusion irreflexive and
+// asymmetric.
+func TestInclusionOrderProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 3000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := randomPredicate(r), randomPredicate(r)
+		if !p.Includes(p) {
+			t.Logf("not reflexive: %v", p)
+			return false
+		}
+		if p.StrictlyIncludes(p) {
+			t.Logf("strict not irreflexive: %v", p)
+			return false
+		}
+		if p.StrictlyIncludes(q) && q.StrictlyIncludes(p) {
+			t.Logf("strict not asymmetric: %v vs %v", p, q)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Matching consistency across subscription composition: an event matches a
+// subscription iff it matches each predicate individually.
+func TestSubscriptionConjunctionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 3000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		preds := make([]Predicate, n)
+		for i := range preds {
+			preds[i] = randomPredicate(r)
+		}
+		sub := MustSubscription(preds...)
+		ev := MustEvent(
+			Assignment{Attr: "a", Val: randomValue(r)},
+			Assignment{Attr: "b", Val: randomValue(r)},
+		)
+		want := true
+		for _, p := range preds {
+			if !ev.MatchesPredicate(p) {
+				want = false
+				break
+			}
+		}
+		return sub.Matches(ev) == want
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package filter
+
+// A small text syntax for subscriptions and events, used by the CLI tools,
+// the examples and the tests. The syntax round-trips with the String
+// methods of Predicate, Subscription and Event.
+//
+//	subscription := predicate { "&&" predicate }
+//	predicate    := attr op value
+//	op           := ">" | "<" | ">=" | "<=" | "="
+//	event        := assign { "," assign }
+//	assign       := attr "=" value
+//
+// Values after "=" may be integers (numeric equality), quoted strings, or
+// bare words (string equality). A "*" on either side of a string value
+// turns it into a prefix ("ab*"), suffix ("*ab") or substring ("*ab*")
+// wildcard; the bare value "**" denotes the universal predicate.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSubscription parses the textual form of a subscription, e.g.
+// "a>2 && a<20 && c=ab*".
+func ParseSubscription(s string) (Subscription, error) {
+	parts := strings.Split(s, "&&")
+	preds := make([]Predicate, 0, len(parts))
+	for _, part := range parts {
+		p, err := ParsePredicate(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("filter: parsing subscription %q: %w", s, err)
+		}
+		preds = append(preds, p)
+	}
+	return NewSubscription(preds...)
+}
+
+// ParsePredicate parses a single predicate, e.g. `a>2`, `price<=100`,
+// `sym="IBM"`, `topic=alert*`.
+func ParsePredicate(s string) (Predicate, error) {
+	s = strings.TrimSpace(s)
+	attr, op, rest, err := splitPredicate(s)
+	if err != nil {
+		return Predicate{}, err
+	}
+	switch op {
+	case ">", "<", ">=", "<=":
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("predicate %q: ordering operator needs an integer operand: %w", s, err)
+		}
+		switch op {
+		case ">":
+			return Gt(attr, n), nil
+		case ">=":
+			return Ge(attr, n), nil
+		case "<":
+			return Lt(attr, n), nil
+		default:
+			return Le(attr, n), nil
+		}
+	case "=":
+		return parseEqualityOperand(attr, rest)
+	default:
+		return Predicate{}, fmt.Errorf("predicate %q: unknown operator %q", s, op)
+	}
+}
+
+func splitPredicate(s string) (attr, op, rest string, err error) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '>', '<':
+			op = string(s[i])
+			rest = s[i+1:]
+			if strings.HasPrefix(rest, "=") {
+				op += "="
+				rest = rest[1:]
+			}
+			return strings.TrimSpace(s[:i]), op, strings.TrimSpace(rest), validAttr(s[:i], s)
+		case '=':
+			return strings.TrimSpace(s[:i]), "=", strings.TrimSpace(s[i+1:]), validAttr(s[:i], s)
+		}
+	}
+	return "", "", "", fmt.Errorf("predicate %q: no operator found", s)
+}
+
+func validAttr(attr, whole string) error {
+	if strings.TrimSpace(attr) == "" {
+		return fmt.Errorf("predicate %q: empty attribute name", whole)
+	}
+	return nil
+}
+
+func parseEqualityOperand(attr, rest string) (Predicate, error) {
+	if rest == "" {
+		return Predicate{}, fmt.Errorf("predicate on %q: empty operand", attr)
+	}
+	if rest == "**" {
+		return Any(attr), nil
+	}
+	leading := strings.HasPrefix(rest, "*")
+	trailing := strings.HasSuffix(rest, "*")
+	if leading || trailing {
+		core := rest
+		if leading {
+			core = core[1:]
+		}
+		if trailing && core != "" {
+			core = core[:len(core)-1]
+		}
+		if unq, err := unquote(core); err == nil {
+			core = unq
+		}
+		switch {
+		case leading && trailing:
+			return Contains(attr, core), nil
+		case leading:
+			return Suffix(attr, core), nil
+		default:
+			return Prefix(attr, core), nil
+		}
+	}
+	if unq, err := unquote(rest); err == nil {
+		return EqStr(attr, unq), nil
+	}
+	if n, err := strconv.ParseInt(rest, 10, 64); err == nil {
+		return EqInt(attr, n), nil
+	}
+	return EqStr(attr, rest), nil
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return strconv.Unquote(s)
+	}
+	return "", fmt.Errorf("not quoted")
+}
+
+// ParseEvent parses the textual form of an event, e.g. `a=4, b=10, c=abc`.
+// Assignments are separated by commas; values may be integers, quoted
+// strings or bare words (strings).
+func ParseEvent(s string) (Event, error) {
+	parts := strings.Split(s, ",")
+	assigns := make([]Assignment, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		i := strings.IndexByte(part, '=')
+		if i <= 0 {
+			return nil, fmt.Errorf("filter: event assignment %q must be attr=value", part)
+		}
+		attr := strings.TrimSpace(part[:i])
+		raw := strings.TrimSpace(part[i+1:])
+		var v Value
+		if unq, err := unquote(raw); err == nil {
+			v = StringValue(unq)
+		} else if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			v = IntValue(n)
+		} else {
+			v = StringValue(raw)
+		}
+		assigns = append(assigns, Assignment{Attr: attr, Val: v})
+	}
+	return NewEvent(assigns...)
+}

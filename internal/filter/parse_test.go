@@ -1,0 +1,125 @@
+package filter
+
+import "testing"
+
+func TestParsePredicate(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Predicate
+	}{
+		{"a>2", Gt("a", 2)},
+		{"a >= 3", Gt("a", 2)},
+		{"a<20", Lt("a", 20)},
+		{"a <= 19", Lt("a", 20)},
+		{"a=4", EqInt("a", 4)},
+		{"a=-7", EqInt("a", -7)},
+		{`c="abc"`, EqStr("c", "abc")},
+		{"c=abc*", Prefix("c", "abc")},
+		{"c=*abc", Suffix("c", "abc")},
+		{"c=*abc*", Contains("c", "abc")},
+		{`c="ab c"*`, Prefix("c", "ab c")},
+		{"c=**", Any("c")},
+		{"c=hello", EqStr("c", "hello")},
+		{`c="42"`, EqStr("c", "42")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := ParsePredicate(tt.in)
+			if err != nil {
+				t.Fatalf("ParsePredicate(%q): %v", tt.in, err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("ParsePredicate(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	bad := []string{"", "a", ">2", "a>x", "a>", "=4", "a<abc"}
+	for _, in := range bad {
+		if p, err := ParsePredicate(in); err == nil {
+			t.Errorf("ParsePredicate(%q) = %v, want error", in, p)
+		}
+	}
+}
+
+func TestParseSubscription(t *testing.T) {
+	sub, err := ParseSubscription("a>2 && a<20 && c=ab*")
+	if err != nil {
+		t.Fatalf("ParseSubscription: %v", err)
+	}
+	if len(sub) != 3 {
+		t.Fatalf("len = %d, want 3", len(sub))
+	}
+	if !sub[0].Equal(Gt("a", 2)) || !sub[1].Equal(Lt("a", 20)) || !sub[2].Equal(Prefix("c", "ab")) {
+		t.Errorf("ParseSubscription = %v", sub)
+	}
+	if _, err := ParseSubscription("a>2 && "); err == nil {
+		t.Error("trailing && accepted")
+	}
+}
+
+func TestParseEvent(t *testing.T) {
+	ev, err := ParseEvent(`a=4, b=-1, c=abc, d="42"`)
+	if err != nil {
+		t.Fatalf("ParseEvent: %v", err)
+	}
+	checks := []struct {
+		attr string
+		want Value
+	}{
+		{"a", IntValue(4)},
+		{"b", IntValue(-1)},
+		{"c", StringValue("abc")},
+		{"d", StringValue("42")},
+	}
+	for _, c := range checks {
+		v, ok := ev.Value(c.attr)
+		if !ok || !v.Equal(c.want) {
+			t.Errorf("event[%s] = %v (ok=%v), want %v", c.attr, v, ok, c.want)
+		}
+	}
+	if _, err := ParseEvent("a=1, a=2"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := ParseEvent("nonsense"); err == nil {
+		t.Error("missing = accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	preds := []Predicate{
+		Gt("a", 2), Lt("a", 20), EqInt("a", 4), EqStr("c", "abc"),
+		Prefix("c", "ab"), Suffix("c", "bc"), Contains("c", "b"), Any("x"),
+	}
+	for _, p := range preds {
+		got, err := ParsePredicate(p.String())
+		if err != nil {
+			t.Errorf("round trip of %v: %v", p, err)
+			continue
+		}
+		if !got.Equal(p) {
+			t.Errorf("round trip of %v = %v", p, got)
+		}
+	}
+	sub := MustSubscription(preds[:4]...)
+	got, err := ParseSubscription(sub.String())
+	if err != nil {
+		t.Fatalf("subscription round trip: %v", err)
+	}
+	if got.String() != sub.String() {
+		t.Errorf("subscription round trip = %q, want %q", got, sub)
+	}
+	ev := MustEvent(
+		Assignment{Attr: "a", Val: IntValue(4)},
+		Assignment{Attr: "c", Val: StringValue("abc")},
+	)
+	gotEv, err := ParseEvent(ev.String())
+	if err != nil {
+		t.Fatalf("event round trip: %v", err)
+	}
+	if gotEv.String() != ev.String() {
+		t.Errorf("event round trip = %q, want %q", gotEv, ev)
+	}
+}

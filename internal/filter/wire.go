@@ -1,0 +1,60 @@
+package filter
+
+// Wire encoding for AttrFilter: its fields are unexported (construction
+// must go through canonicalisation), so cross-process transports
+// (internal/tcpnet) serialise it via encoding.BinaryMarshaler, which
+// encoding/gob honours transparently.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// attrFilterWire mirrors AttrFilter with exported fields for gob.
+type attrFilterWire struct {
+	Attr      string
+	Preds     []Predicate
+	Empty     bool
+	Universal bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f AttrFilter) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(attrFilterWire{
+		Attr:      f.attr,
+		Preds:     f.preds,
+		Empty:     f.empty,
+		Universal: f.universal,
+	}); err != nil {
+		return nil, fmt.Errorf("filter: encoding attribute filter: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The payload is
+// trusted to be canonical (it was produced by MarshalBinary); malformed
+// predicate sets are re-canonicalised defensively.
+func (f *AttrFilter) UnmarshalBinary(data []byte) error {
+	var w attrFilterWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("filter: decoding attribute filter: %w", err)
+	}
+	switch {
+	case w.Universal:
+		*f = UniversalFilter(w.Attr)
+	case w.Empty:
+		*f = AttrFilter{attr: w.Attr, empty: true}
+	case len(w.Preds) == 0:
+		*f = AttrFilter{} // zero filter travels as empty pred set
+		f.attr = w.Attr
+	default:
+		nf, err := NewAttrFilter(w.Attr, w.Preds)
+		if err != nil {
+			return fmt.Errorf("filter: decoding attribute filter: %w", err)
+		}
+		*f = nf
+	}
+	return nil
+}

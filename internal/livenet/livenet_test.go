@@ -1,0 +1,176 @@
+package livenet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// countingProc records message and tick counts; echoes on demand.
+type countingProc struct {
+	mu     sync.Mutex
+	env    sim.Env
+	msgs   []any
+	ticks  atomic.Int64
+	sendTo sim.NodeID
+}
+
+func (p *countingProc) Attach(env sim.Env) { p.env = env }
+
+func (p *countingProc) OnMessage(from sim.NodeID, msg any) {
+	p.mu.Lock()
+	p.msgs = append(p.msgs, msg)
+	p.mu.Unlock()
+	if p.sendTo != 0 {
+		p.env.Send(p.sendTo, "echo")
+	}
+}
+
+func (p *countingProc) OnTick() { p.ticks.Add(1) }
+
+func (p *countingProc) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.msgs)
+}
+
+func TestHubDeliversBetweenPeers(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	a, b := &countingProc{}, &countingProc{}
+	pa, err := h.AddPeer(1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddPeer(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Do(func() { a.env.Send(2, "hi") }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b.count() != 1 {
+		t.Fatalf("b received %d messages", b.count())
+	}
+}
+
+func TestTicksAdvance(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	p := &countingProc{}
+	if _, err := h.AddPeer(1, p); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.ticks.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.ticks.Load() < 5 {
+		t.Fatalf("ticks = %d, want ≥ 5", p.ticks.Load())
+	}
+	if h.Now() == 0 {
+		t.Error("hub clock never advanced")
+	}
+}
+
+func TestDuplicateAndClosedErrors(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond})
+	if _, err := h.AddPeer(1, &countingProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddPeer(1, &countingProc{}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	h.Close()
+	if _, err := h.AddPeer(2, &countingProc{}); err == nil {
+		t.Error("AddPeer after Close accepted")
+	}
+	h.Close() // idempotent
+}
+
+func TestCrashStopsPeer(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	a, b := &countingProc{}, &countingProc{}
+	pa, _ := h.AddPeer(1, a)
+	if _, err := h.AddPeer(2, b); err != nil {
+		t.Fatal(err)
+	}
+	h.Crash(2)
+	// Messages to the crashed peer vanish silently.
+	if err := pa.Do(func() { a.env.Send(2, "into the void") }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if b.count() != 0 {
+		t.Error("crashed peer received a message")
+	}
+	if pa.ID() != 1 {
+		t.Errorf("ID = %d", pa.ID())
+	}
+}
+
+func TestDoRunsInPeerGoroutine(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	p := &countingProc{}
+	lp, _ := h.AddPeer(1, p)
+	ran := false
+	if err := lp.Do(func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("Do did not run the command")
+	}
+	h.Crash(1)
+	if err := lp.Do(func() {}); err == nil {
+		t.Error("Do on a crashed peer should fail")
+	}
+}
+
+func TestInboxOverflowDrops(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Hour, InboxSize: 4, Seed: 1})
+	defer h.Close()
+	blocker := make(chan struct{})
+	slow := &blockingProc{release: blocker}
+	fast := &countingProc{}
+	if _, err := h.AddPeer(1, slow); err != nil {
+		t.Fatal(err)
+	}
+	pf, _ := h.AddPeer(2, fast)
+	var ps *Peer
+	h.mu.Lock()
+	ps = h.peers[1]
+	h.mu.Unlock()
+	// Block the slow peer, then flood it.
+	_ = pf.Do(func() { fast.env.Send(1, "first") })
+	time.Sleep(10 * time.Millisecond) // slow peer is now stuck in OnMessage
+	_ = pf.Do(func() {
+		for i := 0; i < 50; i++ {
+			fast.env.Send(1, i)
+		}
+	})
+	time.Sleep(10 * time.Millisecond)
+	if ps.Dropped() == 0 {
+		t.Error("expected inbox overflow drops")
+	}
+	close(blocker)
+}
+
+type blockingProc struct {
+	env     sim.Env
+	release chan struct{}
+	once    sync.Once
+}
+
+func (p *blockingProc) Attach(env sim.Env) { p.env = env }
+func (p *blockingProc) OnMessage(from sim.NodeID, msg any) {
+	p.once.Do(func() { <-p.release })
+}
+func (p *blockingProc) OnTick() {}

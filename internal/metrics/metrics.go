@@ -1,0 +1,193 @@
+// Package metrics provides the measurement substrate for the DPS
+// evaluation: per-node traffic counters split by message kind, snapshot
+// deltas for the 100-step sampling windows of the paper's Figures 3(c)–(g),
+// event-delivery tracking for the dependability experiments of Figures
+// 3(a)–(b), and the median/max aggregations the plots report.
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind coarsely classifies protocol messages the way the paper's plots do:
+// event diffusion, overlay control (subscriptions, views, merges), and
+// failure-detection heartbeats.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindControl Kind = iota
+	KindEvent
+	KindHeartbeat
+	kindCount
+)
+
+// Kinded is implemented by messages that declare their metric kind.
+// Messages without it count as control traffic.
+type Kinded interface {
+	MetricKind() Kind
+}
+
+// KindOf classifies an arbitrary message payload.
+func KindOf(msg any) Kind {
+	if k, ok := msg.(Kinded); ok {
+		return k.MetricKind()
+	}
+	return KindControl
+}
+
+// Counts is one node's cumulative traffic.
+type Counts struct {
+	In  [kindCount]int64
+	Out [kindCount]int64
+}
+
+// InTotal returns messages received across all kinds.
+func (c Counts) InTotal() int64 { return c.In[0] + c.In[1] + c.In[2] }
+
+// OutTotal returns messages sent across all kinds.
+func (c Counts) OutTotal() int64 { return c.Out[0] + c.Out[1] + c.Out[2] }
+
+// InOf returns messages received of one kind.
+func (c Counts) InOf(k Kind) int64 { return c.In[k] }
+
+// OutOf returns messages sent of one kind.
+func (c Counts) OutOf(k Kind) int64 { return c.Out[k] }
+
+// Sub returns c minus o, component-wise (window delta).
+func (c Counts) Sub(o Counts) Counts {
+	var d Counts
+	for i := range c.In {
+		d.In[i] = c.In[i] - o.In[i]
+		d.Out[i] = c.Out[i] - o.Out[i]
+	}
+	return d
+}
+
+// Registry accumulates traffic counters per node. It is safe for
+// concurrent use (the live runtime is concurrent; the cycle engine is
+// single-threaded and pays one uncontended lock).
+type Registry struct {
+	mu     sync.Mutex
+	counts map[int64]*Counts
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counts: make(map[int64]*Counts)}
+}
+
+func (r *Registry) node(id int64) *Counts {
+	c, ok := r.counts[id]
+	if !ok {
+		c = &Counts{}
+		r.counts[id] = c
+	}
+	return c
+}
+
+// Sent records one outgoing message of kind k at node id.
+func (r *Registry) Sent(id int64, k Kind) {
+	r.mu.Lock()
+	r.node(id).Out[k]++
+	r.mu.Unlock()
+}
+
+// Received records one incoming message of kind k at node id.
+func (r *Registry) Received(id int64, k Kind) {
+	r.mu.Lock()
+	r.node(id).In[k]++
+	r.mu.Unlock()
+}
+
+// Of returns the cumulative counts of one node.
+func (r *Registry) Of(id int64) Counts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counts[id]; ok {
+		return *c
+	}
+	return Counts{}
+}
+
+// Snapshot copies the cumulative counters of every node ever seen.
+func (r *Registry) Snapshot() map[int64]Counts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int64]Counts, len(r.counts))
+	for id, c := range r.counts {
+		out[id] = *c
+	}
+	return out
+}
+
+// DeltaSince returns per-node counters accumulated since the given
+// snapshot; nodes absent from the snapshot count from zero.
+func (r *Registry) DeltaSince(snap map[int64]Counts) map[int64]Counts {
+	cur := r.Snapshot()
+	out := make(map[int64]Counts, len(cur))
+	for id, c := range cur {
+		out[id] = c.Sub(snap[id])
+	}
+	return out
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths); 0 for empty input. The paper defines the median node as
+// the one sending fewer messages than half the nodes and more than the
+// other half.
+func Median(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]int64, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return float64(s[mid])
+	}
+	return float64(s[mid-1]+s[mid]) / 2
+}
+
+// Max returns the maximum of xs; 0 for empty input.
+func Max(xs []int64) int64 {
+	var m int64
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank; 0
+// for empty input.
+func Percentile(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]int64, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Collect materialises one per-node statistic over a node population,
+// filling zeros for nodes the delta map has never seen — the population
+// must include silent nodes or medians are biased upward.
+func Collect(ids []int64, deltas map[int64]Counts, get func(Counts) int64) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = get(deltas[id])
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+type kindedMsg struct{ k Kind }
+
+func (m kindedMsg) MetricKind() Kind { return m.k }
+
+func TestKindOf(t *testing.T) {
+	if KindOf("plain") != KindControl {
+		t.Error("unkinded message should be control")
+	}
+	if KindOf(kindedMsg{KindEvent}) != KindEvent {
+		t.Error("kinded message misclassified")
+	}
+	if KindOf(kindedMsg{KindHeartbeat}) != KindHeartbeat {
+		t.Error("heartbeat misclassified")
+	}
+}
+
+func TestRegistryCounts(t *testing.T) {
+	r := NewRegistry()
+	r.Sent(1, KindEvent)
+	r.Sent(1, KindEvent)
+	r.Sent(1, KindControl)
+	r.Received(1, KindHeartbeat)
+	c := r.Of(1)
+	if c.OutOf(KindEvent) != 2 || c.OutOf(KindControl) != 1 || c.OutTotal() != 3 {
+		t.Errorf("out counts wrong: %+v", c)
+	}
+	if c.InOf(KindHeartbeat) != 1 || c.InTotal() != 1 {
+		t.Errorf("in counts wrong: %+v", c)
+	}
+	if got := r.Of(99); got.InTotal() != 0 || got.OutTotal() != 0 {
+		t.Error("unknown node should be zero")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Sent(1, KindEvent)
+	snap := r.Snapshot()
+	r.Sent(1, KindEvent)
+	r.Sent(2, KindControl)
+	d := r.DeltaSince(snap)
+	if d[1].OutOf(KindEvent) != 1 {
+		t.Errorf("delta for node 1 = %+v, want 1 event out", d[1])
+	}
+	if d[2].OutOf(KindControl) != 1 {
+		t.Errorf("delta for node 2 = %+v", d[2])
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Sent(id, KindEvent)
+				r.Received(id, KindControl)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	for id := int64(0); id < 8; id++ {
+		if c := r.Of(id); c.OutTotal() != 1000 || c.InTotal() != 1000 {
+			t.Errorf("node %d: %+v", id, c)
+		}
+	}
+}
+
+func TestMedianMaxPercentile(t *testing.T) {
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v", got)
+	}
+	if got := Median([]int64{5}); got != 5 {
+		t.Errorf("Median([5]) = %v", got)
+	}
+	if got := Median([]int64{1, 9, 5}); got != 5 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]int64{1, 3, 5, 9}); got != 4 {
+		t.Errorf("Median even = %v", got)
+	}
+	if got := Max([]int64{3, 9, 1}); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Errorf("Max(nil) = %v", got)
+	}
+	if got := Percentile([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9); got != 9 {
+		t.Errorf("P90 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestCollectFillsZeros(t *testing.T) {
+	r := NewRegistry()
+	r.Sent(2, KindEvent)
+	deltas := r.DeltaSince(map[int64]Counts{})
+	vals := Collect([]int64{1, 2, 3}, deltas, Counts.OutTotal)
+	if vals[0] != 0 || vals[1] != 1 || vals[2] != 0 {
+		t.Errorf("Collect = %v", vals)
+	}
+}
+
+func TestDeliveryTracker(t *testing.T) {
+	d := NewDeliveryTracker()
+	d.Publish(1, 10, []int64{1, 2, 3})
+	d.Publish(2, 20, []int64{4})
+	d.Deliver(1, 1)
+	d.Deliver(1, 2)
+	d.Deliver(1, 99) // not expected: ignored
+	d.Deliver(2, 4)
+	d.Deliver(2, 4) // duplicate: idempotent
+	if got := d.Ratio(); got != 0.75 {
+		t.Errorf("Ratio = %v, want 0.75", got)
+	}
+	if got := d.WindowRatio(0, 15); got != 2.0/3.0 {
+		t.Errorf("WindowRatio early = %v", got)
+	}
+	if got := d.WindowRatio(15, 30); got != 1.0 {
+		t.Errorf("WindowRatio late = %v", got)
+	}
+	if got := d.WindowRatio(100, 200); got != 1.0 {
+		t.Errorf("empty window should be 1, got %v", got)
+	}
+	if d.Events() != 2 {
+		t.Errorf("Events = %d", d.Events())
+	}
+	d.Forget(15)
+	if d.Events() != 1 {
+		t.Errorf("Events after Forget = %d", d.Events())
+	}
+}
+
+func TestDeliveryTrackerNoExpected(t *testing.T) {
+	d := NewDeliveryTracker()
+	d.Publish(1, 0, nil)
+	if got := d.Ratio(); got != 1 {
+		t.Errorf("Ratio with no expectations = %v, want 1", got)
+	}
+}

@@ -1,0 +1,57 @@
+package semtree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dump renders the forest as an indented ASCII tree, one block per
+// attribute, for cmd/dps-trees and debugging sessions.
+func (f *Forest) Dump(w io.Writer) error {
+	for _, attr := range f.Attrs() {
+		t := f.trees[attr]
+		if _, err := fmt.Fprintf(w, "tree %q (owner n%d, %d groups)\n",
+			attr, t.Owner, len(t.index)-1); err != nil {
+			return err
+		}
+		if err := dumpGroup(w, t.Root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpGroup(w io.Writer, g *Group, depth int) error {
+	ids := make([]MemberID, 0, len(g.Members))
+	for id := range g.Members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var members strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			members.WriteString(",")
+		}
+		fmt.Fprintf(&members, "n%d", id)
+		if i == 7 && len(ids) > 8 {
+			fmt.Fprintf(&members, ",… (%d total)", len(ids))
+			break
+		}
+	}
+	label := g.Filter.String()
+	if g.Filter.IsUniversal() {
+		label = "⊤"
+	}
+	if _, err := fmt.Fprintf(w, "%s%s  {%s}\n",
+		strings.Repeat("  ", depth+1), label, members.String()); err != nil {
+		return err
+	}
+	for _, c := range g.Children {
+		if err := dumpGroup(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

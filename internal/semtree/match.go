@@ -1,0 +1,98 @@
+package semtree
+
+import (
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+// MatchResult describes how one event propagates through the oracle
+// forest, using the paper's root-based routing rule: an event enters every
+// tree whose attribute it carries and descends only into groups whose
+// filter matches the published value; a non-matching group prunes its whole
+// subtree (safe because children are included in their parents).
+type MatchResult struct {
+	// Contacted holds every member that receives the event: members of the
+	// visited (matching) groups plus the owner of each entered tree (the
+	// routing entry point).
+	Contacted map[MemberID]bool
+	// Delivered holds the contacted members having at least one
+	// subscription matching the event — the ones whose Notify fires.
+	Delivered map[MemberID]bool
+	// GroupsVisited counts matching groups entered, across all trees.
+	GroupsVisited int
+	// GroupsPruned counts groups whose filter rejected the value, cutting
+	// their subtree.
+	GroupsPruned int
+	// TreesEntered counts attribute trees the event was published into.
+	TreesEntered int
+}
+
+// FalsePositives returns the number of contacted members that have no
+// matching subscription.
+func (m MatchResult) FalsePositives() int {
+	return len(m.Contacted) - len(m.Delivered)
+}
+
+// Match routes the event through the forest and reports the contacted and
+// delivered member sets.
+func (f *Forest) Match(ev filter.Event) MatchResult {
+	res := MatchResult{
+		Contacted: make(map[MemberID]bool),
+		Delivered: make(map[MemberID]bool),
+	}
+	for _, as := range ev {
+		t := f.trees[as.Attr]
+		if t == nil {
+			continue
+		}
+		res.TreesEntered++
+		res.Contacted[t.Owner] = true
+		f.visit(t.Root, as.Val, ev, &res)
+	}
+	f.finishDelivered(ev, &res)
+	return res
+}
+
+func (f *Forest) visit(g *Group, v filter.Value, ev filter.Event, res *MatchResult) {
+	if !g.Filter.Matches(v) {
+		res.GroupsPruned++
+		return
+	}
+	res.GroupsVisited++
+	for id := range g.Members {
+		res.Contacted[id] = true
+	}
+	for _, c := range g.Children {
+		f.visit(c, v, ev, res)
+	}
+}
+
+// finishDelivered fills Delivered from Contacted using the global member
+// registry: a contacted member is delivered when any of its subscriptions
+// matches the event.
+func (f *Forest) finishDelivered(ev filter.Event, res *MatchResult) {
+	for id := range res.Contacted {
+		for _, sub := range f.members[id] {
+			if sub.Matches(ev) {
+				res.Delivered[id] = true
+				break
+			}
+		}
+	}
+}
+
+// MatchingMembers returns every member — contacted or not — having at
+// least one subscription matching the event. It is the ground truth used
+// by the no-false-negative invariant (MatchingMembers ⊆ Contacted) and by
+// delivery-ratio denominators.
+func (f *Forest) MatchingMembers(ev filter.Event) map[MemberID]bool {
+	out := make(map[MemberID]bool)
+	for id, subs := range f.members {
+		for _, sub := range subs {
+			if sub.Matches(ev) {
+				out[id] = true
+				break
+			}
+		}
+	}
+	return out
+}

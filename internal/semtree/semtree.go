@@ -1,0 +1,411 @@
+// Package semtree implements a centralised reference model ("oracle") of
+// the DPS semantic overlay: the forest of per-attribute logical trees whose
+// vertices are semantic groups ordered by filter inclusion (paper §3).
+//
+// The oracle sees every subscription, keeps exactly one group per canonical
+// attribute filter (paper Def. 2), and places groups with a deterministic
+// walk that realises constraints C1 and C2. It serves three purposes:
+//
+//   - ground truth for validating the distributed protocol in tests (the
+//     message-passing overlay must converge to the same group structure in
+//     the absence of churn);
+//   - the fast path for the Table 1 false-positive experiment, which the
+//     paper runs without failures or message loss;
+//   - a debugging aid (cmd/dps-trees renders it).
+package semtree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+// MemberID identifies a subscriber.
+type MemberID int64
+
+// Group is a semantic group: the set of subscribers sharing one canonical
+// attribute filter, placed in the tree of that attribute.
+type Group struct {
+	Filter   filter.AttrFilter
+	Parent   *Group
+	Children []*Group // sorted by Filter.Key()
+
+	// Members maps each member to its full subscriptions (a member may
+	// reach the same group through several of its subscriptions). The full
+	// subscription is kept for false-positive accounting.
+	Members map[MemberID][]filter.Subscription
+}
+
+// Depth returns the number of edges from the tree root to the group.
+func (g *Group) Depth() int {
+	d := 0
+	for p := g.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Size returns the number of members of the group.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Tree is the logical tree of one attribute. Its root group carries the
+// universal filter and is hosted by the attribute owner (the first
+// subscriber to the attribute), mirroring the paper's "each attribute is
+// owned by a unique subscriber".
+type Tree struct {
+	Attr  string
+	Root  *Group
+	Owner MemberID
+
+	index map[string]*Group // canonical filter key -> group
+}
+
+// Forest is the set of all attribute trees.
+type Forest struct {
+	trees   map[string]*Tree
+	members map[MemberID][]filter.Subscription // every live registration
+}
+
+// New returns an empty forest.
+func New() *Forest {
+	return &Forest{
+		trees:   make(map[string]*Tree),
+		members: make(map[MemberID][]filter.Subscription),
+	}
+}
+
+// Members returns the number of distinct members with at least one live
+// subscription.
+func (f *Forest) Members() int { return len(f.members) }
+
+// Subscriptions returns the member's live subscriptions.
+func (f *Forest) Subscriptions(id MemberID) []filter.Subscription {
+	subs := f.members[id]
+	out := make([]filter.Subscription, len(subs))
+	copy(out, subs)
+	return out
+}
+
+// Tree returns the tree for attr, or nil if no subscriber created it.
+func (f *Forest) Tree(attr string) *Tree { return f.trees[attr] }
+
+// Attrs returns the attributes having a tree, sorted.
+func (f *Forest) Attrs() []string {
+	out := make([]string, 0, len(f.trees))
+	for a := range f.trees {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trees returns the number of trees in the forest.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// Groups returns the total number of groups across all trees, excluding
+// the virtual roots.
+func (f *Forest) Groups() int {
+	n := 0
+	for _, t := range f.trees {
+		n += len(t.index) - 1 // root is indexed too
+	}
+	return n
+}
+
+// Subscribe registers the subscription for the member and returns the group
+// it joined. The member joins the tree of the subscription's first
+// attribute (the paper leaves the choice arbitrary; the first attribute is
+// this implementation's convention), at the group of its whole attribute
+// filter on that attribute.
+func (f *Forest) Subscribe(id MemberID, sub filter.Subscription) (*Group, error) {
+	filters, err := filter.SubscriptionFilters(sub)
+	if err != nil {
+		return nil, err
+	}
+	return f.SubscribeFilter(id, sub, filters[0])
+}
+
+// SubscribeFilter registers the subscription with an explicit choice of the
+// attribute filter (and therefore tree) the member joins.
+func (f *Forest) SubscribeFilter(id MemberID, sub filter.Subscription, af filter.AttrFilter) (*Group, error) {
+	if af.IsZero() {
+		return nil, fmt.Errorf("semtree: zero attribute filter")
+	}
+	t := f.trees[af.Attr()]
+	if t == nil {
+		root := &Group{
+			Filter:  filter.UniversalFilter(af.Attr()),
+			Members: make(map[MemberID][]filter.Subscription),
+		}
+		t = &Tree{
+			Attr:  af.Attr(),
+			Root:  root,
+			Owner: id,
+			index: map[string]*Group{root.Filter.Key(): root},
+		}
+		f.trees[af.Attr()] = t
+	}
+	g := t.locateOrCreate(af)
+	g.Members[id] = append(g.Members[id], sub)
+	f.members[id] = append(f.members[id], sub)
+	return g, nil
+}
+
+// locateOrCreate finds the group for the canonical filter, creating and
+// placing it if absent.
+func (t *Tree) locateOrCreate(af filter.AttrFilter) *Group {
+	if g, ok := t.index[af.Key()]; ok {
+		return g
+	}
+	g := &Group{
+		Filter:  af,
+		Members: make(map[MemberID][]filter.Subscription),
+	}
+	t.index[af.Key()] = g
+	t.place(t.Root, g)
+	return g
+}
+
+// place performs the deterministic descent that realises C1/C2 and inserts
+// g at the stopping vertex: starting at start, repeatedly move into the
+// first child (in canonical key order) whose filter strictly includes g's;
+// the vertex where no child does is g's designated predecessor Gm
+// (constraint C2: the deepest group strictly including g along a unique
+// deterministic path). Because integer equality groups sort after ">"
+// groups and before "<" groups, the walk naturally applies the paper's C1
+// convention of placing equalities below the greater-than chain when both
+// chains include them.
+//
+// After linking, any sibling that g strictly includes is recursively
+// re-placed under g (adoption), restoring Def. 4's "no group in between"
+// invariant when g lands in the middle of a chain.
+func (t *Tree) place(start *Group, g *Group) {
+	dst := start
+	for {
+		next := dst.routeChild(g.Filter)
+		if next == nil {
+			break
+		}
+		dst = next
+	}
+	dst.insertChild(g)
+	var moved []*Group
+	for _, sib := range dst.Children {
+		if sib != g && g.Filter.StrictlyIncludes(sib.Filter) {
+			moved = append(moved, sib)
+		}
+	}
+	for _, sib := range moved {
+		dst.removeChild(sib)
+		t.place(g, sib)
+	}
+}
+
+// routeChild returns the child into which af's placement walk descends, or
+// nil if g is the designated predecessor.
+func (g *Group) routeChild(af filter.AttrFilter) *Group {
+	for _, c := range g.Children {
+		if c.Filter.StrictlyIncludes(af) {
+			return c
+		}
+	}
+	return nil
+}
+
+// insertChild adds c keeping Children sorted by canonical key.
+func (g *Group) insertChild(c *Group) {
+	i := sort.Search(len(g.Children), func(i int) bool {
+		return g.Children[i].Filter.Key() >= c.Filter.Key()
+	})
+	g.Children = append(g.Children, nil)
+	copy(g.Children[i+1:], g.Children[i:])
+	g.Children[i] = c
+	c.Parent = g
+}
+
+// removeChild unlinks c from g.
+func (g *Group) removeChild(c *Group) {
+	for i, x := range g.Children {
+		if x == c {
+			g.Children = append(g.Children[:i], g.Children[i+1:]...)
+			c.Parent = nil
+			return
+		}
+	}
+}
+
+// Unsubscribe removes one registration of the subscription for the member
+// from the group of the given attribute filter. When a group loses its last
+// member it is deleted and each of its children is re-placed from the
+// parent (the paper's overlay never hosts empty groups: groups are made of
+// subscribers).
+func (f *Forest) Unsubscribe(id MemberID, af filter.AttrFilter) error {
+	t := f.trees[af.Attr()]
+	if t == nil {
+		return fmt.Errorf("semtree: no tree for attribute %q", af.Attr())
+	}
+	g, ok := t.index[af.Key()]
+	if !ok {
+		return fmt.Errorf("semtree: no group for filter %v", af)
+	}
+	subs := g.Members[id]
+	if len(subs) == 0 {
+		return fmt.Errorf("semtree: member %d is not in group %v", id, af)
+	}
+	removed := subs[len(subs)-1]
+	if len(subs) == 1 {
+		delete(g.Members, id)
+	} else {
+		g.Members[id] = subs[:len(subs)-1]
+	}
+	f.dropRegistration(id, removed)
+	if len(g.Members) == 0 && g != t.Root {
+		t.deleteGroup(g)
+	}
+	return nil
+}
+
+// dropRegistration removes one instance of the subscription from the
+// member's global registry.
+func (f *Forest) dropRegistration(id MemberID, sub filter.Subscription) {
+	subs := f.members[id]
+	want := sub.String()
+	for i := len(subs) - 1; i >= 0; i-- {
+		if subs[i].String() == want {
+			subs = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(subs) == 0 {
+		delete(f.members, id)
+	} else {
+		f.members[id] = subs
+	}
+}
+
+// RemoveMember removes the member from every group of every tree (crash or
+// departure of the node). Groups left empty are deleted.
+func (f *Forest) RemoveMember(id MemberID) {
+	delete(f.members, id)
+	for _, t := range f.trees {
+		var emptied []*Group
+		for _, g := range t.index {
+			if _, ok := g.Members[id]; ok {
+				delete(g.Members, id)
+				if len(g.Members) == 0 && g != t.Root {
+					emptied = append(emptied, g)
+				}
+			}
+		}
+		sort.Slice(emptied, func(i, j int) bool {
+			return emptied[i].Filter.Key() < emptied[j].Filter.Key()
+		})
+		for _, g := range emptied {
+			t.deleteGroup(g)
+		}
+	}
+}
+
+// deleteGroup unlinks an empty group and re-places each child from the
+// deleted group's parent with the standard walk, so the tree stays exactly
+// what deterministic insertion would have produced.
+func (t *Tree) deleteGroup(g *Group) {
+	parent := g.Parent
+	if parent == nil {
+		return // never delete the root
+	}
+	delete(t.index, g.Filter.Key())
+	parent.removeChild(g)
+	children := g.Children
+	g.Children = nil
+	for _, c := range children {
+		t.place(parent, c)
+	}
+}
+
+// Walk calls fn for every group of the tree in depth-first order, root
+// included. Returning false stops the walk.
+func (t *Tree) Walk(fn func(*Group) bool) {
+	var rec func(*Group) bool
+	rec = func(g *Group) bool {
+		if !fn(g) {
+			return false
+		}
+		for _, c := range g.Children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.Root)
+}
+
+// Group returns the group of the canonical filter, if present.
+func (t *Tree) Group(af filter.AttrFilter) (*Group, bool) {
+	g, ok := t.index[af.Key()]
+	return g, ok
+}
+
+// Validate checks the structural invariants of the forest and returns the
+// first violation found, if any:
+//
+//  1. every non-root group's parent strictly includes it (routing safety —
+//     pruning a subtree can never cause a false negative);
+//  2. no two sibling groups are related by strict inclusion (Def. 4: the
+//     parent is an *immediate* predecessor);
+//  3. exactly one group exists per canonical filter key (Def. 2);
+//  4. children are sorted by canonical key (determinism);
+//  5. every group except the root has at least one member.
+func (f *Forest) Validate() error {
+	for attr, t := range f.trees {
+		seen := make(map[string]bool, len(t.index))
+		var err error
+		t.Walk(func(g *Group) bool {
+			key := g.Filter.Key()
+			if seen[key] {
+				err = fmt.Errorf("tree %q: duplicate group %v", attr, g.Filter)
+				return false
+			}
+			seen[key] = true
+			if t.index[key] != g {
+				err = fmt.Errorf("tree %q: group %v not indexed", attr, g.Filter)
+				return false
+			}
+			if g != t.Root {
+				if g.Parent == nil {
+					err = fmt.Errorf("tree %q: group %v detached", attr, g.Filter)
+					return false
+				}
+				if !g.Parent.Filter.StrictlyIncludes(g.Filter) && !g.Parent.Filter.IsUniversal() {
+					err = fmt.Errorf("tree %q: parent %v does not include child %v",
+						attr, g.Parent.Filter, g.Filter)
+					return false
+				}
+				if len(g.Members) == 0 {
+					err = fmt.Errorf("tree %q: empty non-root group %v", attr, g.Filter)
+					return false
+				}
+			}
+			for i, c := range g.Children {
+				if i > 0 && g.Children[i-1].Filter.Key() >= c.Filter.Key() {
+					err = fmt.Errorf("tree %q: children of %v not sorted", attr, g.Filter)
+					return false
+				}
+				for _, d := range g.Children {
+					if c != d && c.Filter.StrictlyIncludes(d.Filter) {
+						err = fmt.Errorf("tree %q: sibling %v includes sibling %v under %v",
+							attr, c.Filter, d.Filter, g.Filter)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

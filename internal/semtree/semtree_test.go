@@ -1,0 +1,427 @@
+package semtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+func mustSub(t *testing.T, s string) filter.Subscription {
+	t.Helper()
+	sub, err := filter.ParseSubscription(s)
+	if err != nil {
+		t.Fatalf("ParseSubscription(%q): %v", s, err)
+	}
+	return sub
+}
+
+func mustEvent(t *testing.T, s string) filter.Event {
+	t.Helper()
+	ev, err := filter.ParseEvent(s)
+	if err != nil {
+		t.Fatalf("ParseEvent(%q): %v", s, err)
+	}
+	return ev
+}
+
+func subscribe(t *testing.T, f *Forest, id MemberID, s string) *Group {
+	t.Helper()
+	g, err := f.Subscribe(id, mustSub(t, s))
+	if err != nil {
+		t.Fatalf("Subscribe(%d, %q): %v", id, s, err)
+	}
+	return g
+}
+
+func TestSingleSubscriptionCreatesTree(t *testing.T) {
+	f := New()
+	g := subscribe(t, f, 1, "a>2")
+	if f.Tree("a") == nil {
+		t.Fatal("tree for a not created")
+	}
+	if f.Tree("a").Owner != 1 {
+		t.Errorf("owner = %d, want 1", f.Tree("a").Owner)
+	}
+	if g.Parent != f.Tree("a").Root {
+		t.Error("first group should hang off the root")
+	}
+	if g.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", g.Depth())
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestChainOrdering(t *testing.T) {
+	f := New()
+	g2 := subscribe(t, f, 1, "a>2")
+	g5 := subscribe(t, f, 2, "a>5")
+	g3 := subscribe(t, f, 3, "a>3")
+	// a>2 ⊃ a>3 ⊃ a>5: the chain must nest by constant even though a>3
+	// arrived after a>5 (re-parenting on middle insertion).
+	if g5.Parent != g3 {
+		t.Errorf("a>5 parent = %v, want a>3", g5.Parent.Filter)
+	}
+	if g3.Parent != g2 {
+		t.Errorf("a>3 parent = %v, want a>2", g3.Parent.Filter)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestEqualityUnderGreaterChainC1(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>2")
+	subscribe(t, f, 2, "a<11")
+	g4 := subscribe(t, f, 3, "a=4")
+	// Both a>2 and a<11 strictly include a=4; the C1 convention places the
+	// equality under the greater-than chain.
+	if got := g4.Parent.Filter.String(); got != "a>2" {
+		t.Errorf("a=4 placed under %q, want under a>2", got)
+	}
+	subscribe(t, f, 4, "a>3")
+	// After a>3 arrives, a=4's designated predecessor (C2) is a>3. Adoption
+	// must have moved it.
+	tr := f.Tree("a")
+	g, ok := tr.Group(filter.MustAttrFilter("a", filter.EqInt("a", 4)))
+	if !ok {
+		t.Fatal("group a=4 lost")
+	}
+	if got := g.Parent.Filter.String(); got != "a>3" {
+		t.Errorf("a=4 now under %q, want under a>3", got)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestFigure1Scenario replays the subscriptions of the paper's Figure 1 and
+// checks the structural highlights the figure shows: one tree per
+// attribute, string equality under the prefix group, chain nesting.
+func TestFigure1Scenario(t *testing.T) {
+	f := New()
+	subs := []string{
+		"a>2 && b>0",          // s0
+		"a>2 && a<500",        // s1
+		"a>5 && b<2",          // s2
+		"b>3 && c=abc",        // s3
+		"a<4 && b>20",         // s4
+		"a=4 && c=abc",        // s5
+		"a<3 && b>3 && b<7",   // s6
+		"b>3 && c=ab*",        // s7
+		"a>2 && a<20 && c=a*", // s8
+		"a<11",                // s9
+		"a>50 && b<5",         // s10
+		"a>3 && b<50",         // s11
+	}
+	for i, s := range subs {
+		subscribe(t, f, MemberID(i), s)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every member joined the tree of its first attribute; only trees for
+	// attributes that were first are created (a and b here: c is never
+	// first).
+	if f.Tree("a") == nil || f.Tree("b") == nil {
+		t.Fatal("trees a and b must exist")
+	}
+	if f.Tree("c") != nil {
+		t.Error("tree c should not exist (never a first attribute)")
+	}
+	// s0 owns tree a; s3 owns tree b (first subscriber whose first
+	// attribute is b).
+	if got := f.Tree("a").Owner; got != 0 {
+		t.Errorf("owner of tree a = n%d, want n0", got)
+	}
+	if got := f.Tree("b").Owner; got != 3 {
+		t.Errorf("owner of tree b = n%d, want n3", got)
+	}
+	// s1's filter on a is the range (2,500) which nests under a>2.
+	g, ok := f.Tree("a").Group(filter.MustAttrFilter("a",
+		filter.Gt("a", 2), filter.Lt("a", 500)))
+	if !ok {
+		t.Fatal("group a>2&&a<500 missing")
+	}
+	if got := g.Parent.Filter.String(); got != "a>2" {
+		t.Errorf("range group under %q, want a>2", got)
+	}
+}
+
+func TestSameFilterJoinsSameGroup(t *testing.T) {
+	f := New()
+	g1 := subscribe(t, f, 1, "a>2 && a<20")
+	g2 := subscribe(t, f, 2, "a<20 && a>2")
+	if g1 != g2 {
+		t.Error("equivalent filters must share one group (Def. 2)")
+	}
+	if g1.Size() != 2 {
+		t.Errorf("group size = %d, want 2", g1.Size())
+	}
+}
+
+func TestIncomparableRangesAreSiblings(t *testing.T) {
+	f := New()
+	ga := subscribe(t, f, 1, "a>0 && a<15")
+	gb := subscribe(t, f, 2, "a>10 && a<20")
+	if ga.Parent != gb.Parent {
+		t.Error("overlapping incomparable ranges must be siblings")
+	}
+	if ga.Depth() != 1 || gb.Depth() != 1 {
+		t.Errorf("depths = %d, %d; want 1, 1", ga.Depth(), gb.Depth())
+	}
+}
+
+func TestUnsubscribeDeletesEmptyGroupAndReplacesChildren(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>0 && a<100")       // outer
+	subscribe(t, f, 2, "a>10 && a<50")       // middle
+	g3 := subscribe(t, f, 3, "a>20 && a<30") // inner
+	if g3.Depth() != 3 {
+		t.Fatalf("inner depth = %d, want 3", g3.Depth())
+	}
+	mid := filter.MustAttrFilter("a", filter.Gt("a", 10), filter.Lt("a", 50))
+	if err := f.Unsubscribe(2, mid); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	if _, ok := f.Tree("a").Group(mid); ok {
+		t.Error("empty middle group should be deleted")
+	}
+	// The inner group must have been re-placed under the outer one.
+	inner := filter.MustAttrFilter("a", filter.Gt("a", 20), filter.Lt("a", 30))
+	g, ok := f.Tree("a").Group(inner)
+	if !ok {
+		t.Fatal("inner group lost")
+	}
+	if got := g.Parent.Filter.String(); got != "a>0 && a<100" {
+		t.Errorf("inner re-placed under %q, want outer range", got)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestUnsubscribeErrors(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>2")
+	af := filter.MustAttrFilter("a", filter.Gt("a", 2))
+	if err := f.Unsubscribe(99, af); err == nil {
+		t.Error("unsubscribing an absent member should fail")
+	}
+	if err := f.Unsubscribe(1, filter.MustAttrFilter("b", filter.Gt("b", 1))); err == nil {
+		t.Error("unsubscribing from a missing tree should fail")
+	}
+	if err := f.Unsubscribe(1, filter.MustAttrFilter("a", filter.Gt("a", 7))); err == nil {
+		t.Error("unsubscribing a missing group should fail")
+	}
+}
+
+func TestRemoveMember(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>2")
+	subscribe(t, f, 1, "b<7")
+	subscribe(t, f, 2, "a>2")
+	f.RemoveMember(1)
+	if f.Members() != 1 {
+		t.Errorf("members = %d, want 1", f.Members())
+	}
+	g, ok := f.Tree("a").Group(filter.MustAttrFilter("a", filter.Gt("a", 2)))
+	if !ok {
+		t.Fatal("group a>2 must survive (member 2 is there)")
+	}
+	if g.Size() != 1 {
+		t.Errorf("group size = %d, want 1", g.Size())
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMatchRouting(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>2")          // matches a=10
+	subscribe(t, f, 2, "a>2 && a<20")  // matches a=10
+	subscribe(t, f, 3, "a>2 && a<5")   // contacted? 10 outside (2,5): pruned
+	subscribe(t, f, 4, "a<3")          // pruned
+	subscribe(t, f, 5, "a>2 && b>100") // contacted via tree a, but b missing: false positive
+	res := f.Match(mustEvent(t, "a=10"))
+	wantContacted := []MemberID{0: 1, 1: 2, 2: 5} // plus owner n1 already there
+	for _, id := range wantContacted {
+		if !res.Contacted[id] {
+			t.Errorf("member %d should be contacted", id)
+		}
+	}
+	if res.Contacted[3] || res.Contacted[4] {
+		t.Error("pruned members were contacted")
+	}
+	if !res.Delivered[1] || !res.Delivered[2] {
+		t.Error("matching members not delivered")
+	}
+	if res.Delivered[5] {
+		t.Error("member 5 must be a false positive, not a delivery")
+	}
+	if res.FalsePositives() != 1 {
+		t.Errorf("false positives = %d, want 1", res.FalsePositives())
+	}
+}
+
+func TestMatchEntersAllEventTrees(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>2")
+	subscribe(t, f, 2, "b<100")
+	res := f.Match(mustEvent(t, "a=5, b=5"))
+	if res.TreesEntered != 2 {
+		t.Errorf("TreesEntered = %d, want 2", res.TreesEntered)
+	}
+	if !res.Delivered[1] || !res.Delivered[2] {
+		t.Error("both members should be delivered")
+	}
+	res = f.Match(mustEvent(t, "z=1"))
+	if res.TreesEntered != 0 || len(res.Contacted) != 0 {
+		t.Errorf("event on unknown attribute contacted %d members", len(res.Contacted))
+	}
+}
+
+func TestDumpRendersForest(t *testing.T) {
+	f := New()
+	subscribe(t, f, 1, "a>2")
+	subscribe(t, f, 2, "a>5")
+	var b strings.Builder
+	if err := f.Dump(&b); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{`tree "a"`, "a>2", "a>5", "n1", "n2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// randomForestSub builds subscriptions over a compact universe so group
+// sharing and nesting happen often.
+func randomForestSub(r *rand.Rand) filter.Subscription {
+	attrs := []string{"a", "b"}
+	var preds []filter.Predicate
+	n := 1 + r.Intn(2)
+	attr := attrs[r.Intn(len(attrs))]
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			preds = append(preds, filter.Gt(attr, int64(r.Intn(20))))
+		case 1:
+			preds = append(preds, filter.Lt(attr, int64(r.Intn(20))))
+		default:
+			preds = append(preds, filter.EqInt(attr, int64(r.Intn(20))))
+		}
+	}
+	if r.Intn(3) == 0 {
+		other := attrs[1-indexOf(attrs, attr)]
+		preds = append(preds, filter.Gt(other, int64(r.Intn(20))))
+	}
+	return filter.MustSubscription(preds...)
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestForestInvariantsUnderRandomChurn subscribes, unsubscribes and removes
+// members at random and revalidates the structural invariants after every
+// operation batch.
+func TestForestInvariantsUnderRandomChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := New()
+	type reg struct {
+		id MemberID
+		af filter.AttrFilter
+	}
+	var regs []reg
+	for step := 0; step < 2000; step++ {
+		switch {
+		case len(regs) == 0 || r.Intn(3) > 0:
+			id := MemberID(r.Intn(50))
+			sub := randomForestSub(r)
+			fs, err := filter.SubscriptionFilters(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs[0].IsEmpty() {
+				continue // empty filters are rejected by the overlay layer
+			}
+			if _, err := f.SubscribeFilter(id, sub, fs[0]); err != nil {
+				t.Fatalf("step %d: subscribe: %v", step, err)
+			}
+			regs = append(regs, reg{id, fs[0]})
+		case r.Intn(4) == 0:
+			id := regs[r.Intn(len(regs))].id
+			f.RemoveMember(id)
+			kept := regs[:0]
+			for _, g := range regs {
+				if g.id != id {
+					kept = append(kept, g)
+				}
+			}
+			regs = kept
+		default:
+			i := r.Intn(len(regs))
+			if err := f.Unsubscribe(regs[i].id, regs[i].af); err != nil {
+				t.Fatalf("step %d: unsubscribe: %v", step, err)
+			}
+			regs = append(regs[:i], regs[i+1:]...)
+		}
+		if step%50 == 0 {
+			if err := f.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoFalseNegativesProperty is the core routing-safety property: every
+// member whose subscription matches an event must be contacted by the
+// root-based walk (MatchingMembers ⊆ Contacted).
+func TestNoFalseNegativesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		f := New()
+		n := 5 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			sub := randomForestSub(r)
+			fs, err := filter.SubscriptionFilters(sub)
+			if err != nil || fs[0].IsEmpty() {
+				continue
+			}
+			if _, err := f.SubscribeFilter(MemberID(i), sub, fs[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < 20; e++ {
+			ev := filter.MustEvent(
+				filter.Assignment{Attr: "a", Val: filter.IntValue(int64(r.Intn(22) - 1))},
+				filter.Assignment{Attr: "b", Val: filter.IntValue(int64(r.Intn(22) - 1))},
+			)
+			res := f.Match(ev)
+			for id := range f.MatchingMembers(ev) {
+				if !res.Contacted[id] {
+					t.Fatalf("trial %d: member %d matches %v but was not contacted", trial, id, ev)
+				}
+				if !res.Delivered[id] {
+					t.Fatalf("trial %d: member %d matches %v but not delivered", trial, id, ev)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package sim provides the cycle-based deterministic simulation substrate
+// on which the DPS evaluation runs, mirroring the paper's own event-based,
+// cycle-driven simulator (§5.2 "The simulation is cycle based").
+//
+// The package hosts two things:
+//
+//   - the runtime *contract* between a protocol node and whatever engine
+//     drives it (Env, Process, NodeID) — the live goroutine runtime in
+//     internal/livenet implements the same contract, so protocol code is
+//     engine-agnostic ("sans-IO");
+//   - the cycle Engine itself: synchronous steps, per-hop latency of one
+//     step (configurable), optional message loss, crash injection, and
+//     deterministic execution for a given seed.
+//
+// Determinism: nodes are processed in ascending NodeID order within a
+// step, message queues preserve send order, each node owns a private
+// rand.Rand stream derived from the engine seed, and the engine never
+// consults wall-clock time.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies a node in the overlay. IDs are assigned by the
+// deployment (engine or application) and are unique for the lifetime of a
+// run.
+type NodeID int64
+
+// Env is the runtime handle a protocol node uses to interact with the
+// world: send messages, read the logical clock, and draw deterministic
+// randomness. Engines hand one Env to each node at attach time.
+type Env interface {
+	// ID returns the node's own identifier.
+	ID() NodeID
+	// Now returns the current logical step.
+	Now() int64
+	// Rand returns the node's private deterministic random stream.
+	Rand() *rand.Rand
+	// Send enqueues a message to another node. Delivery happens after the
+	// engine's hop latency; messages to crashed nodes vanish silently, as
+	// in the paper's fail-stop model.
+	Send(to NodeID, msg any)
+}
+
+// Process is a protocol node drivable by an engine.
+type Process interface {
+	// Attach hands the node its runtime environment. It is called exactly
+	// once, before any other method.
+	Attach(env Env)
+	// OnMessage delivers one message sent by from.
+	OnMessage(from NodeID, msg any)
+	// OnTick runs once per step after message delivery, for periodic work
+	// (heartbeats, gossip rounds, retries).
+	OnTick()
+}
+
+// Config parameterises the engine.
+type Config struct {
+	// Seed drives all engine randomness. Two runs with equal seeds and
+	// equal call sequences produce identical executions.
+	Seed int64
+	// Latency is the number of steps between send and delivery. 0 means
+	// the default of 1 (next step).
+	Latency int64
+	// LossRate is the probability that any message is dropped in flight.
+	LossRate float64
+	// OnSend, if set, observes every accepted send.
+	OnSend func(from, to NodeID, msg any)
+	// OnDeliver, if set, observes every delivery to a live node.
+	OnDeliver func(from, to NodeID, msg any)
+	// OnDrop, if set, observes messages lost to LossRate or to dead
+	// recipients.
+	OnDrop func(from, to NodeID, msg any)
+}
+
+type envelope struct {
+	from, to NodeID
+	msg      any
+}
+
+type slot struct {
+	proc  Process
+	env   *nodeEnv
+	alive bool
+}
+
+// Engine is the cycle-based simulator.
+type Engine struct {
+	cfg   Config
+	step  int64
+	slots map[NodeID]*slot
+	order []NodeID // ascending; includes dead nodes (skipped)
+	dirty bool     // order needs re-sorting
+	queue map[int64][]envelope
+	rng   *rand.Rand
+	alive int
+}
+
+// NewEngine returns an engine with no nodes at step 0.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 1
+	}
+	return &Engine{
+		cfg:   cfg,
+		slots: make(map[NodeID]*slot),
+		queue: make(map[int64][]envelope),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Now returns the current step.
+func (e *Engine) Now() int64 { return e.step }
+
+// Add attaches a process under the given id. Adding a duplicate id is a
+// programming error and returns one.
+func (e *Engine) Add(id NodeID, p Process) error {
+	if _, ok := e.slots[id]; ok {
+		return fmt.Errorf("sim: node %d already exists", id)
+	}
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixer (2^64/phi as int64)
+	env := &nodeEnv{engine: e, id: id,
+		rng: rand.New(rand.NewSource(e.cfg.Seed ^ (int64(id)+1)*mix))}
+	e.slots[id] = &slot{proc: p, env: env, alive: true}
+	e.order = append(e.order, id)
+	e.dirty = true
+	e.alive++
+	p.Attach(env)
+	return nil
+}
+
+// Kill crashes a node: it stops receiving and ticking immediately.
+// In-flight messages it already sent still deliver (they are on the wire).
+// Killing an unknown or dead node is a no-op so that failure injectors can
+// fire blindly.
+func (e *Engine) Kill(id NodeID) {
+	if s, ok := e.slots[id]; ok && s.alive {
+		s.alive = false
+		e.alive--
+	}
+}
+
+// Alive reports whether a node exists and has not crashed.
+func (e *Engine) Alive(id NodeID) bool {
+	s, ok := e.slots[id]
+	return ok && s.alive
+}
+
+// AliveCount returns the number of live nodes.
+func (e *Engine) AliveCount() int { return e.alive }
+
+// AliveIDs returns the sorted ids of live nodes.
+func (e *Engine) AliveIDs() []NodeID {
+	e.sortOrder()
+	out := make([]NodeID, 0, e.alive)
+	for _, id := range e.order {
+		if e.slots[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Process returns the process attached under id, or nil.
+func (e *Engine) Process(id NodeID) Process {
+	if s, ok := e.slots[id]; ok {
+		return s.proc
+	}
+	return nil
+}
+
+// Env returns the runtime handle of the node, usable by test drivers to
+// invoke protocol operations between steps.
+func (e *Engine) Env(id NodeID) Env {
+	if s, ok := e.slots[id]; ok {
+		return s.env
+	}
+	return nil
+}
+
+// Step advances the simulation one cycle: deliver everything scheduled for
+// the new step, then tick every live node in id order.
+func (e *Engine) Step() {
+	e.step++
+	batch := e.queue[e.step]
+	delete(e.queue, e.step)
+	for _, env := range batch {
+		s, ok := e.slots[env.to]
+		if !ok || !s.alive {
+			if e.cfg.OnDrop != nil {
+				e.cfg.OnDrop(env.from, env.to, env.msg)
+			}
+			continue
+		}
+		if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
+			if e.cfg.OnDrop != nil {
+				e.cfg.OnDrop(env.from, env.to, env.msg)
+			}
+			continue
+		}
+		if e.cfg.OnDeliver != nil {
+			e.cfg.OnDeliver(env.from, env.to, env.msg)
+		}
+		s.proc.OnMessage(env.from, env.msg)
+	}
+	e.sortOrder()
+	for _, id := range e.order {
+		if s := e.slots[id]; s.alive {
+			s.proc.OnTick()
+		}
+	}
+}
+
+// Run advances n steps.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+func (e *Engine) sortOrder() {
+	if !e.dirty {
+		return
+	}
+	sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
+	e.dirty = false
+}
+
+func (e *Engine) send(from, to NodeID, msg any) {
+	if s, ok := e.slots[from]; !ok || !s.alive {
+		return // dead nodes cannot speak
+	}
+	if e.cfg.OnSend != nil {
+		e.cfg.OnSend(from, to, msg)
+	}
+	due := e.step + e.cfg.Latency
+	e.queue[due] = append(e.queue[due], envelope{from: from, to: to, msg: msg})
+}
+
+// nodeEnv implements Env for one node of the cycle engine.
+type nodeEnv struct {
+	engine *Engine
+	id     NodeID
+	rng    *rand.Rand
+}
+
+var _ Env = (*nodeEnv)(nil)
+
+func (n *nodeEnv) ID() NodeID            { return n.id }
+func (n *nodeEnv) Now() int64            { return n.engine.step }
+func (n *nodeEnv) Rand() *rand.Rand      { return n.rng }
+func (n *nodeEnv) Send(to NodeID, m any) { n.engine.send(n.id, to, m) }

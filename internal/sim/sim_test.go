@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+)
+
+// echoProc records received messages and can send on tick.
+type echoProc struct {
+	env      Env
+	received []any
+	froms    []NodeID
+	onTick   func(p *echoProc)
+}
+
+func (p *echoProc) Attach(env Env) { p.env = env }
+
+func (p *echoProc) OnMessage(from NodeID, msg any) {
+	p.froms = append(p.froms, from)
+	p.received = append(p.received, msg)
+}
+
+func (p *echoProc) OnTick() {
+	if p.onTick != nil {
+		p.onTick(p)
+	}
+}
+
+func TestDeliveryNextStep(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	a, b := &echoProc{}, &echoProc{}
+	if err := e.Add(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(2, b); err != nil {
+		t.Fatal(err)
+	}
+	a.env.Send(2, "hello")
+	if len(b.received) != 0 {
+		t.Fatal("message delivered before any step")
+	}
+	e.Step()
+	if len(b.received) != 1 || b.received[0] != "hello" || b.froms[0] != 1 {
+		t.Fatalf("delivery wrong: %v from %v", b.received, b.froms)
+	}
+}
+
+func TestLatencyConfig(t *testing.T) {
+	e := NewEngine(Config{Seed: 1, Latency: 3})
+	a, b := &echoProc{}, &echoProc{}
+	_ = e.Add(1, a)
+	_ = e.Add(2, b)
+	a.env.Send(2, "x")
+	e.Step()
+	e.Step()
+	if len(b.received) != 0 {
+		t.Fatal("delivered too early")
+	}
+	e.Step()
+	if len(b.received) != 1 {
+		t.Fatal("not delivered at latency horizon")
+	}
+}
+
+func TestDuplicateAdd(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	_ = e.Add(1, &echoProc{})
+	if err := e.Add(1, &echoProc{}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestKillStopsDeliveryAndTicks(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	ticks := 0
+	a := &echoProc{onTick: func(*echoProc) { ticks++ }}
+	b := &echoProc{}
+	_ = e.Add(1, a)
+	_ = e.Add(2, b)
+	b.env.Send(1, "to the dead")
+	e.Kill(1)
+	e.Step()
+	if len(a.received) != 0 {
+		t.Error("dead node received a message")
+	}
+	if ticks != 0 {
+		t.Error("dead node ticked")
+	}
+	if e.Alive(1) || !e.Alive(2) {
+		t.Error("alive bookkeeping wrong")
+	}
+	if e.AliveCount() != 1 {
+		t.Errorf("AliveCount = %d, want 1", e.AliveCount())
+	}
+	// Dead nodes cannot send either.
+	a.env.Send(2, "ghost")
+	e.Step()
+	if len(b.received) != 0 {
+		t.Error("message from dead node delivered")
+	}
+	e.Kill(1) // killing twice is a no-op
+	e.Kill(99)
+	if e.AliveCount() != 1 {
+		t.Error("double kill corrupted count")
+	}
+}
+
+func TestInFlightFromDeadNodeStillDelivers(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	a, b := &echoProc{}, &echoProc{}
+	_ = e.Add(1, a)
+	_ = e.Add(2, b)
+	a.env.Send(2, "last words")
+	e.Kill(1) // message already on the wire
+	e.Step()
+	if len(b.received) != 1 {
+		t.Error("in-flight message from crashed node lost")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(Config{Seed: 42})
+		var trace []int64
+		for i := NodeID(1); i <= 5; i++ {
+			id := i
+			p := &echoProc{}
+			p.onTick = func(p *echoProc) {
+				v := p.env.Rand().Int63n(1000)
+				trace = append(trace, int64(id)*10000+v)
+				p.env.Send(1+(id%5), v)
+			}
+			_ = e.Add(id, p)
+		}
+		e.Run(20)
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestLossRateDropsEverythingAtOne(t *testing.T) {
+	drops := 0
+	e := NewEngine(Config{Seed: 1, LossRate: 1.0,
+		OnDrop: func(from, to NodeID, msg any) { drops++ }})
+	a, b := &echoProc{}, &echoProc{}
+	_ = e.Add(1, a)
+	_ = e.Add(2, b)
+	for i := 0; i < 10; i++ {
+		a.env.Send(2, i)
+	}
+	e.Step()
+	if len(b.received) != 0 {
+		t.Error("messages delivered despite LossRate 1")
+	}
+	if drops != 10 {
+		t.Errorf("drops = %d, want 10", drops)
+	}
+}
+
+func TestHooksObserveTraffic(t *testing.T) {
+	var sent, delivered int
+	e := NewEngine(Config{
+		Seed:      1,
+		OnSend:    func(from, to NodeID, msg any) { sent++ },
+		OnDeliver: func(from, to NodeID, msg any) { delivered++ },
+	})
+	a, b := &echoProc{}, &echoProc{}
+	_ = e.Add(1, a)
+	_ = e.Add(2, b)
+	a.env.Send(2, "x")
+	b.env.Send(1, "y")
+	e.Step()
+	if sent != 2 || delivered != 2 {
+		t.Errorf("sent=%d delivered=%d, want 2/2", sent, delivered)
+	}
+}
+
+func TestAliveIDsSorted(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	for _, id := range []NodeID{5, 3, 9, 1} {
+		_ = e.Add(id, &echoProc{})
+	}
+	e.Kill(3)
+	ids := e.AliveIDs()
+	want := []NodeID{1, 5, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("AliveIDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("AliveIDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestEnvAccessors(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	p := &echoProc{}
+	_ = e.Add(7, p)
+	env := e.Env(7)
+	if env == nil || env.ID() != 7 {
+		t.Fatalf("Env(7) = %v", env)
+	}
+	if env.Now() != 0 {
+		t.Errorf("Now = %d, want 0", env.Now())
+	}
+	e.Step()
+	if env.Now() != 1 {
+		t.Errorf("Now = %d, want 1", env.Now())
+	}
+	if e.Process(7) != p {
+		t.Error("Process accessor wrong")
+	}
+	if e.Env(99) != nil || e.Process(99) != nil {
+		t.Error("unknown node accessors should return nil")
+	}
+}

@@ -1,0 +1,247 @@
+package tcpnet
+
+// The directory service: one process (typically the bootstrap node) hosts
+// the attribute→owner registry; every other node talks to it through a
+// DirectoryClient implementing core.Directory. This realises the paper's
+// "trees are connected among each other" bootstrap as a networked service
+// with the same pluggable interface the simulator uses.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// dirOp names a directory request.
+type dirOp uint8
+
+const (
+	opOwner dirOp = iota + 1
+	opClaimOwner
+	opReplaceOwner
+	opAddContact
+	opDropContact
+	opContact
+)
+
+type dirReq struct {
+	Op   dirOp
+	Attr string
+	Node sim.NodeID
+}
+
+type dirResp struct {
+	Node sim.NodeID
+	OK   bool
+}
+
+// DirectoryServer hosts a shared registry over TCP.
+type DirectoryServer struct {
+	inner *core.SharedDirectory
+	ln    net.Listener
+	rng   *rand.Rand
+	rngMu sync.Mutex
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+// ListenDirectory binds the registry service.
+func ListenDirectory(addr string, seed int64) (*DirectoryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: directory listen: %w", err)
+	}
+	s := &DirectoryServer{
+		inner: core.NewSharedDirectory(),
+		ln:    ln,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the service address.
+func (s *DirectoryServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the service and every client connection.
+func (s *DirectoryServer) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.ln.Close()
+		s.connMu.Lock()
+		s.closed = true
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *DirectoryServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *DirectoryServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return
+	}
+	s.conns[conn] = true
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req dirReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp dirResp
+		switch req.Op {
+		case opOwner:
+			resp.Node, resp.OK = s.inner.Owner(req.Attr)
+		case opClaimOwner:
+			resp.Node = s.inner.ClaimOwner(req.Attr, req.Node)
+			resp.OK = true
+		case opReplaceOwner:
+			s.inner.ReplaceOwner(req.Attr, req.Node)
+			resp.OK = true
+		case opAddContact:
+			s.inner.AddContact(req.Attr, req.Node)
+			resp.OK = true
+		case opDropContact:
+			s.inner.DropContact(req.Attr, req.Node)
+			resp.OK = true
+		case opContact:
+			s.rngMu.Lock()
+			resp.Node, resp.OK = s.inner.Contact(req.Attr, s.rng)
+			s.rngMu.Unlock()
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// DirectoryClient implements core.Directory against a DirectoryServer.
+// Calls are synchronous request/response over one persistent connection
+// (re-dialed on failure); failures degrade to "not found", which the
+// protocol's retry timers absorb.
+type DirectoryClient struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ core.Directory = (*DirectoryClient)(nil)
+
+// DialDirectory connects lazily; the first request dials.
+func DialDirectory(addr string) *DirectoryClient {
+	return &DirectoryClient{addr: addr}
+}
+
+// Close drops the connection.
+func (c *DirectoryClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *DirectoryClient) call(req dirReq) (dirResp, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, time.Second)
+			if err != nil {
+				return dirResp{}, false
+			}
+			c.conn = conn
+			c.enc = gob.NewEncoder(conn)
+			c.dec = gob.NewDecoder(conn)
+		}
+		if err := c.enc.Encode(req); err == nil {
+			var resp dirResp
+			if err := c.dec.Decode(&resp); err == nil {
+				return resp, true
+			}
+		}
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	return dirResp{}, false
+}
+
+// Owner implements core.Directory.
+func (c *DirectoryClient) Owner(attr string) (sim.NodeID, bool) {
+	resp, ok := c.call(dirReq{Op: opOwner, Attr: attr})
+	return resp.Node, ok && resp.OK
+}
+
+// ClaimOwner implements core.Directory.
+func (c *DirectoryClient) ClaimOwner(attr string, node sim.NodeID) sim.NodeID {
+	resp, ok := c.call(dirReq{Op: opClaimOwner, Attr: attr, Node: node})
+	if !ok {
+		return node // optimistic: the retry timers re-resolve later
+	}
+	return resp.Node
+}
+
+// ReplaceOwner implements core.Directory.
+func (c *DirectoryClient) ReplaceOwner(attr string, node sim.NodeID) {
+	c.call(dirReq{Op: opReplaceOwner, Attr: attr, Node: node})
+}
+
+// AddContact implements core.Directory.
+func (c *DirectoryClient) AddContact(attr string, node sim.NodeID) {
+	c.call(dirReq{Op: opAddContact, Attr: attr, Node: node})
+}
+
+// DropContact implements core.Directory.
+func (c *DirectoryClient) DropContact(attr string, node sim.NodeID) {
+	c.call(dirReq{Op: opDropContact, Attr: attr, Node: node})
+}
+
+// Contact implements core.Directory. The server draws the random entry
+// point (its registry, its randomness); the local rng is unused.
+func (c *DirectoryClient) Contact(attr string, _ *rand.Rand) (sim.NodeID, bool) {
+	resp, ok := c.call(dirReq{Op: opContact, Attr: attr})
+	return resp.Node, ok && resp.OK
+}

@@ -1,0 +1,302 @@
+// Package tcpnet runs DPS nodes across real processes: each node owns a
+// TCP listener, messages travel as gob frames over persistent connections,
+// and a small directory service bootstraps attribute-tree discovery. It is
+// the third engine for the sans-IO protocol in internal/core, after the
+// deterministic cycle simulator and the in-process goroutine runtime —
+// what turns the reproduction into a deployable library.
+//
+// Scope: LAN/loopback-grade transport with reconnect-on-demand and
+// drop-on-overflow semantics (the protocol tolerates loss by design). It
+// deliberately has no TLS, NAT traversal or membership authentication.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// frame is the wire unit between transports.
+type frame struct {
+	From    sim.NodeID
+	Addr    string // sender's listen address, for the address book
+	Payload any
+}
+
+// Config parameterises a Transport.
+type Config struct {
+	// ID is this node's overlay identifier; must be unique per deployment.
+	ID sim.NodeID
+	// Listen is the TCP address to bind ("127.0.0.1:0" picks a free port).
+	Listen string
+	// TickEvery is one protocol step of wall-clock time; defaults to 10ms.
+	TickEvery time.Duration
+	// Seed drives the node's deterministic random stream.
+	Seed int64
+	// InboxSize bounds buffered inbound work; overflow drops (default 4096).
+	InboxSize int
+}
+
+// Transport hosts one DPS node over TCP. It implements the engine side of
+// the sim contract: the node's handlers run on a single goroutine fed by
+// the listener and the ticker.
+type Transport struct {
+	cfg  Config
+	proc sim.Process
+	ln   net.Listener
+	rng  *rand.Rand
+
+	clock atomic.Int64
+
+	mu      sync.Mutex
+	book    map[sim.NodeID]string // id -> listen addr
+	conns   map[sim.NodeID]*outConn
+	inConns map[net.Conn]bool
+
+	inbox   chan inboxItem
+	stop    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	dropped atomic.Int64
+	closed  bool
+}
+
+type inboxItem struct {
+	from sim.NodeID
+	msg  any
+	cmd  func()
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	enc  *gob.Encoder
+	conn net.Conn
+}
+
+// env adapts Transport to sim.Env.
+type env struct{ t *Transport }
+
+var _ sim.Env = env{}
+
+func (e env) ID() sim.NodeID   { return e.t.cfg.ID }
+func (e env) Now() int64       { return e.t.clock.Load() }
+func (e env) Rand() *rand.Rand { return e.t.rng }
+func (e env) Send(to sim.NodeID, m any) {
+	e.t.send(to, m)
+}
+
+// New binds the listener and starts the node. The process is attached and
+// begins ticking immediately.
+func New(cfg Config, proc sim.Process) (*Transport, error) {
+	if cfg.ID == 0 {
+		return nil, errors.New("tcpnet: Config.ID must be non-zero")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10 * time.Millisecond
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 4096
+	}
+	core.RegisterWireTypes()
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen: %w", err)
+	}
+	t := &Transport{
+		cfg:     cfg,
+		proc:    proc,
+		ln:      ln,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)*0x5DEECE66D)),
+		book:    make(map[sim.NodeID]string),
+		conns:   make(map[sim.NodeID]*outConn),
+		inConns: make(map[net.Conn]bool),
+		inbox:   make(chan inboxItem, cfg.InboxSize),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	proc.Attach(env{t: t})
+	t.wg.Add(2)
+	go t.acceptLoop()
+	go t.mainLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer teaches the transport where to reach another node.
+func (t *Transport) AddPeer(id sim.NodeID, addr string) {
+	t.mu.Lock()
+	t.book[id] = addr
+	t.mu.Unlock()
+}
+
+// Dropped reports messages lost to inbox overflow or dead connections.
+func (t *Transport) Dropped() int64 { return t.dropped.Load() }
+
+// Do runs fn on the node's goroutine — the only safe way to call
+// Subscribe/Publish on the hosted core.Node.
+func (t *Transport) Do(fn func()) error {
+	ch := make(chan struct{})
+	select {
+	case t.inbox <- inboxItem{cmd: func() { defer close(ch); fn() }}:
+	case <-t.stop:
+		return errors.New("tcpnet: transport closed")
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-t.done:
+		return errors.New("tcpnet: transport closed")
+	}
+}
+
+// Close stops the node, the listener and all connections.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inConns))
+	for _, c := range t.conns {
+		conns = append(conns, c.conn)
+	}
+	for c := range t.inConns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	close(t.stop)
+	_ = t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// mainLoop is the node's single goroutine: messages, commands, ticks.
+func (t *Transport) mainLoop() {
+	defer t.wg.Done()
+	defer close(t.done)
+	ticker := time.NewTicker(t.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case item := <-t.inbox:
+			if item.cmd != nil {
+				item.cmd()
+				continue
+			}
+			t.proc.OnMessage(item.from, item.msg)
+		case <-ticker.C:
+			t.clock.Add(1)
+			t.proc.OnTick()
+		}
+	}
+}
+
+// acceptLoop ingests inbound connections; each gets a reader goroutine.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.inConns[conn] = true
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inConns, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		if f.Addr != "" {
+			t.AddPeer(f.From, f.Addr) // learn return paths
+		}
+		select {
+		case t.inbox <- inboxItem{from: f.From, msg: f.Payload}:
+		case <-t.stop:
+			return
+		default:
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// send encodes one frame to the peer, dialing or re-dialing as needed.
+// Failures drop the message — the protocol's loss tolerance covers it.
+func (t *Transport) send(to sim.NodeID, msg any) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	c := t.conns[to]
+	addr, known := t.book[to]
+	t.mu.Unlock()
+	if c == nil {
+		if !known {
+			t.dropped.Add(1)
+			return
+		}
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.dropped.Add(1)
+			return
+		}
+		c = &outConn{enc: gob.NewEncoder(conn), conn: conn}
+		t.mu.Lock()
+		if old := t.conns[to]; old != nil {
+			t.mu.Unlock()
+			_ = conn.Close()
+			c = old
+		} else {
+			t.conns[to] = c
+			t.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	err := c.enc.Encode(frame{From: t.cfg.ID, Addr: t.Addr(), Payload: msg})
+	c.mu.Unlock()
+	if err != nil {
+		// Connection went bad: forget it; the next send re-dials.
+		t.mu.Lock()
+		if t.conns[to] == c {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		_ = c.conn.Close()
+		t.dropped.Add(1)
+	}
+}

@@ -1,0 +1,330 @@
+// Package workload generates the synthetic subscription/event workloads of
+// the paper's evaluation (§5.2, Table 1): attribute values drawn from
+// uniform or zipf distributions, numeric range subscriptions with a
+// configurable mean width and equality percentage, and string subscriptions
+// over a 500-word dictionary with prefix wildcards.
+//
+// Three presets reproduce the paper's workloads:
+//
+//   - Workload 1 — stock-exchange style (after Wang et al. [17]): one
+//     numeric and one string attribute, uniform events, zipf
+//     subscriptions, 10% ranges, 50% equalities; each subscription
+//     constrains one of the two attributes.
+//   - Workload 2 — multiplayer game: two numeric attributes (a 2-D game
+//     plane), uniform events and subscriptions, 50% ranges (large zones),
+//     no equalities; subscriptions constrain both coordinates.
+//   - Workload 3 — alert monitoring: three numeric attributes, zipf events
+//     and subscriptions concentrated on few critical values, 20% ranges,
+//     20% equalities; subscriptions constrain all three attributes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+// Dist selects a value distribution.
+type Dist uint8
+
+// Supported distributions.
+const (
+	Uniform Dist = iota
+	Zipf
+)
+
+// String returns the distribution name as used in Table 1.
+func (d Dist) String() string {
+	if d == Zipf {
+		return "zipf"
+	}
+	return "unif"
+}
+
+// AttrSpec describes how one attribute's values and predicates are drawn.
+type AttrSpec struct {
+	Name string
+	Type filter.Type
+
+	// Numeric attributes draw values from [0, Domain).
+	Domain int64
+	// String attributes draw words from Dictionary.
+	Dictionary []string
+
+	// EventDist and SubDist pick the value distribution for events and
+	// subscriptions respectively.
+	EventDist Dist
+	SubDist   Dist
+
+	// RangeFrac is the mean width of numeric range subscriptions as a
+	// fraction of the domain; actual widths are uniform in ±50% of the
+	// mean.
+	RangeFrac float64
+	// EqFrac is the probability that a subscription on this attribute is
+	// an equality instead of a range (numeric) or prefix (string).
+	EqFrac float64
+	// SubFromTop mirrors zipf subscription anchors to the top of the
+	// domain (subscriptions concentrate on high values while zipf events
+	// concentrate on low ones), for scenarios where watchers and traffic
+	// live at opposite ends of the domain.
+	SubFromTop bool
+	// ZipfS overrides the zipf exponent for subscription draws on this
+	// attribute; 0 uses the package default. Lower values flatten the
+	// distribution.
+	ZipfS float64
+	// EventZipfS overrides the zipf exponent for event draws; 0 falls
+	// back to ZipfS (and then the package default).
+	EventZipfS float64
+	// SubOffsetFrac shifts subscription anchors up by this fraction of the
+	// domain, modelling alert thresholds that sit just above the bulk of
+	// normal traffic (only some events reach the watched region).
+	SubOffsetFrac float64
+	// Quantum snaps range anchors and widths to a grid, so that distinct
+	// subscribers share identical filters — the game-plane zones of
+	// Workload 2, where semantic groups grow populous instead of staying
+	// singletons.
+	Quantum int64
+	// PrefixMin/PrefixMax bound the length of string prefix wildcards.
+	PrefixMin, PrefixMax int
+}
+
+// SubMode selects how many attributes one subscription constrains.
+type SubMode uint8
+
+// Subscription modes.
+const (
+	// AllAttrs: every subscription constrains every attribute of the
+	// workload (Workloads 2 and 3).
+	AllAttrs SubMode = iota
+	// OneAttr: every subscription constrains exactly one attribute, drawn
+	// uniformly (Workload 1, whose Table 1 row lists the numeric and
+	// string attributes as alternatives).
+	OneAttr
+)
+
+// Spec is a complete workload description.
+type Spec struct {
+	Name  string
+	Attrs []AttrSpec
+	Mode  SubMode
+}
+
+// Generator draws subscriptions and events from a Spec deterministically
+// for a given seed.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+	// one zipf source per (attr, use) because rand.Zipf is stateful
+	eventZipf []*rand.Zipf
+	subZipf   []*rand.Zipf
+}
+
+// zipfS is the skew of all zipf draws. The paper does not publish its
+// exponent; 1.25 concentrates ~80% of the mass on the first tenth of a
+// 500-element domain, a common choice for modelling hot stock symbols and
+// alert values.
+const zipfS = 1.25
+
+// NewGenerator validates the spec and returns a deterministic generator.
+func NewGenerator(spec Spec, seed int64) (*Generator, error) {
+	if len(spec.Attrs) == 0 {
+		return nil, fmt.Errorf("workload %q: no attributes", spec.Name)
+	}
+	g := &Generator{
+		spec:      spec,
+		rng:       rand.New(rand.NewSource(seed)),
+		eventZipf: make([]*rand.Zipf, len(spec.Attrs)),
+		subZipf:   make([]*rand.Zipf, len(spec.Attrs)),
+	}
+	for i, a := range spec.Attrs {
+		subS := a.ZipfS
+		if subS == 0 {
+			subS = zipfS
+		}
+		evS := a.EventZipfS
+		if evS == 0 {
+			evS = subS
+		}
+		if subS <= 1 || evS <= 1 {
+			return nil, fmt.Errorf("workload %q: attribute %q zipf exponents must exceed 1", spec.Name, a.Name)
+		}
+		var n uint64
+		switch a.Type {
+		case filter.TypeInt:
+			if a.Domain < 4 {
+				return nil, fmt.Errorf("workload %q: attribute %q domain too small", spec.Name, a.Name)
+			}
+			if a.EqFrac < 1 && (a.RangeFrac <= 0 || a.RangeFrac > 1) {
+				return nil, fmt.Errorf("workload %q: attribute %q needs RangeFrac in (0,1]", spec.Name, a.Name)
+			}
+			n = uint64(a.Domain - 1)
+		case filter.TypeString:
+			if len(a.Dictionary) == 0 {
+				return nil, fmt.Errorf("workload %q: attribute %q has no dictionary", spec.Name, a.Name)
+			}
+			n = uint64(len(a.Dictionary) - 1)
+			if n == 0 {
+				n = 1
+			}
+		default:
+			return nil, fmt.Errorf("workload %q: attribute %q has invalid type", spec.Name, a.Name)
+		}
+		g.eventZipf[i] = rand.NewZipf(g.rng, evS, 1, n)
+		g.subZipf[i] = rand.NewZipf(g.rng, subS, 1, n)
+	}
+	return g, nil
+}
+
+// MustGenerator is NewGenerator for statically-known-good specs.
+func MustGenerator(spec Spec, seed int64) *Generator {
+	g, err := NewGenerator(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Spec returns the generator's workload description.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Event draws one event carrying every attribute of the workload.
+func (g *Generator) Event() filter.Event {
+	assigns := make([]filter.Assignment, 0, len(g.spec.Attrs))
+	for i := range g.spec.Attrs {
+		a := &g.spec.Attrs[i]
+		assigns = append(assigns, filter.Assignment{
+			Attr: a.Name,
+			Val:  g.value(i, a.EventDist),
+		})
+	}
+	ev, err := filter.NewEvent(assigns...)
+	if err != nil {
+		// Attribute names are unique by construction; this cannot happen.
+		panic(err)
+	}
+	return ev
+}
+
+// Subscription draws one subscription according to the workload's mode.
+// In AllAttrs mode the per-attribute predicate blocks appear in random
+// order, so that subscribers spread evenly across the attribute trees (a
+// DPS subscriber joins the tree of its subscription's first attribute).
+func (g *Generator) Subscription() filter.Subscription {
+	var preds []filter.Predicate
+	switch g.spec.Mode {
+	case OneAttr:
+		i := g.rng.Intn(len(g.spec.Attrs))
+		preds = g.attrPredicates(i)
+	default:
+		order := make([]int, len(g.spec.Attrs))
+		for i := range order {
+			order[i] = i
+		}
+		g.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		blocks := make([][]filter.Predicate, len(g.spec.Attrs))
+		for i := range g.spec.Attrs {
+			blocks[i] = g.attrPredicates(i) // draw in spec order: stable streams
+		}
+		for _, i := range order {
+			preds = append(preds, blocks[i]...)
+		}
+	}
+	sub, err := filter.NewSubscription(preds...)
+	if err != nil {
+		panic(err) // generators always emit at least one valid predicate
+	}
+	return sub
+}
+
+// value draws one event-side value for attribute i.
+func (g *Generator) value(i int, d Dist) filter.Value {
+	a := &g.spec.Attrs[i]
+	if a.Type == filter.TypeInt {
+		return filter.IntValue(g.drawInt(g.eventZipf[i], d, a.Domain))
+	}
+	return filter.StringValue(a.Dictionary[g.drawInt(g.eventZipf[i], d, int64(len(a.Dictionary)))])
+}
+
+// drawInt draws from [0, n) using the given distribution; z supplies the
+// zipf stream when d is Zipf.
+func (g *Generator) drawInt(z *rand.Zipf, d Dist, n int64) int64 {
+	if d == Zipf {
+		v := int64(z.Uint64())
+		if v >= n {
+			v = n - 1
+		}
+		return v
+	}
+	return g.rng.Int63n(n)
+}
+
+// attrPredicates draws the predicates of one subscription on attribute i.
+func (g *Generator) attrPredicates(i int) []filter.Predicate {
+	a := &g.spec.Attrs[i]
+	if a.Type == filter.TypeString {
+		word := a.Dictionary[g.drawInt(g.subZipf[i], a.SubDist, int64(len(a.Dictionary)))]
+		if g.rng.Float64() < a.EqFrac {
+			return []filter.Predicate{filter.EqStr(a.Name, word)}
+		}
+		lo, hi := a.PrefixMin, a.PrefixMax
+		if lo <= 0 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		n := lo
+		if hi > lo {
+			n = lo + g.rng.Intn(hi-lo+1)
+		}
+		if n > len(word) {
+			n = len(word)
+		}
+		return []filter.Predicate{filter.Prefix(a.Name, word[:n])}
+	}
+	if g.rng.Float64() < a.EqFrac {
+		v := g.subAnchor(i, a, a.Domain)
+		return []filter.Predicate{filter.EqInt(a.Name, v)}
+	}
+	mean := float64(a.Domain) * a.RangeFrac
+	width := int64(mean * (0.5 + g.rng.Float64())) // uniform in [0.5, 1.5]·mean
+	if a.Quantum > 1 {
+		width = (width / a.Quantum) * a.Quantum
+		if width < a.Quantum {
+			width = a.Quantum
+		}
+	}
+	if width < 2 {
+		width = 2
+	}
+	if width >= a.Domain {
+		width = a.Domain - 1
+	}
+	maxStart := a.Domain - width
+	start := g.subAnchor(i, a, maxStart)
+	if a.Quantum > 1 {
+		start = (start / a.Quantum) * a.Quantum
+	}
+	// The range covers (start-1, start+width): values start..start+width-1.
+	return []filter.Predicate{
+		filter.Gt(a.Name, start-1),
+		filter.Lt(a.Name, start+width),
+	}
+}
+
+// subAnchor draws a subscription anchor in [0, n) honouring the spec's
+// offset and mirroring knobs.
+func (g *Generator) subAnchor(i int, a *AttrSpec, n int64) int64 {
+	v := g.drawInt(g.subZipf[i], a.SubDist, n)
+	if a.SubFromTop {
+		v = n - 1 - v
+	}
+	if a.SubOffsetFrac > 0 {
+		v += int64(a.SubOffsetFrac * float64(a.Domain))
+		if v >= n {
+			v = n - 1
+		}
+	}
+	return v
+}

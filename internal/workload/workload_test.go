@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+func TestDictionaryDeterministicUnique(t *testing.T) {
+	d1 := Dictionary(500, 500)
+	d2 := Dictionary(500, 500)
+	if len(d1) != 500 {
+		t.Fatalf("len = %d", len(d1))
+	}
+	seen := make(map[string]bool, len(d1))
+	for i, w := range d1 {
+		if w != d2[i] {
+			t.Fatalf("dictionary not deterministic at %d: %q vs %q", i, w, d2[i])
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len(w) < 3 {
+			t.Errorf("word %q too short", w)
+		}
+	}
+	d3 := Dictionary(100, 7)
+	if len(d3) != 100 {
+		t.Fatalf("len = %d", len(d3))
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Spec{Name: "x"}, 1); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := NewGenerator(Spec{Name: "x", Attrs: []AttrSpec{{
+		Name: "a", Type: filter.TypeInt, Domain: 2, RangeFrac: 0.5,
+	}}}, 1); err == nil {
+		t.Error("tiny domain accepted")
+	}
+	if _, err := NewGenerator(Spec{Name: "x", Attrs: []AttrSpec{{
+		Name: "a", Type: filter.TypeInt, Domain: 100, RangeFrac: 0,
+	}}}, 1); err == nil {
+		t.Error("zero range fraction with ranges accepted")
+	}
+	if _, err := NewGenerator(Spec{Name: "x", Attrs: []AttrSpec{{
+		Name: "s", Type: filter.TypeString,
+	}}}, 1); err == nil {
+		t.Error("string attribute without dictionary accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, spec := range Presets() {
+		g1 := MustGenerator(spec, 42)
+		g2 := MustGenerator(spec, 42)
+		for i := 0; i < 50; i++ {
+			if s1, s2 := g1.Subscription().String(), g2.Subscription().String(); s1 != s2 {
+				t.Fatalf("%s: subscriptions diverge: %q vs %q", spec.Name, s1, s2)
+			}
+			if e1, e2 := g1.Event().String(), g2.Event().String(); e1 != e2 {
+				t.Fatalf("%s: events diverge: %q vs %q", spec.Name, e1, e2)
+			}
+		}
+	}
+}
+
+func TestEventsCarryAllAttributes(t *testing.T) {
+	for _, spec := range Presets() {
+		g := MustGenerator(spec, 1)
+		for i := 0; i < 20; i++ {
+			ev := g.Event()
+			if len(ev) != len(spec.Attrs) {
+				t.Fatalf("%s: event has %d attrs, want %d", spec.Name, len(ev), len(spec.Attrs))
+			}
+			for _, a := range spec.Attrs {
+				if _, ok := ev.Value(a.Name); !ok {
+					t.Fatalf("%s: event missing attr %q", spec.Name, a.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkload1OneAttrPerSubscription(t *testing.T) {
+	g := MustGenerator(Workload1(), 3)
+	sawNum, sawStr := false, false
+	for i := 0; i < 200; i++ {
+		sub := g.Subscription()
+		attrs := sub.Attributes()
+		if len(attrs) != 1 {
+			t.Fatalf("workload1 subscription constrains %d attrs: %v", len(attrs), sub)
+		}
+		switch attrs[0] {
+		case "price":
+			sawNum = true
+		case "sym":
+			sawStr = true
+		default:
+			t.Fatalf("unexpected attribute %q", attrs[0])
+		}
+	}
+	if !sawNum || !sawStr {
+		t.Error("workload1 should alternate between numeric and string subscriptions")
+	}
+}
+
+func TestWorkload2BothAttrsRanges(t *testing.T) {
+	g := MustGenerator(Workload2(), 3)
+	for i := 0; i < 100; i++ {
+		sub := g.Subscription()
+		attrs := sub.Attributes()
+		if len(attrs) != 2 {
+			t.Fatalf("workload2 subscription constrains %v", attrs)
+		}
+		for _, p := range sub {
+			if p.Op == filter.OpEQ {
+				t.Fatalf("workload2 must have no equalities: %v", sub)
+			}
+		}
+		// Each attribute contributes a two-sided range.
+		for _, a := range attrs {
+			if got := len(sub.PredicatesOn(a)); got != 2 {
+				t.Fatalf("attr %s has %d predicates, want 2 (range)", a, got)
+			}
+		}
+	}
+}
+
+func TestWorkload2RangeWidthNearHalfDomain(t *testing.T) {
+	g := MustGenerator(Workload2(), 9)
+	var total float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sub := g.Subscription()
+		ps := sub.PredicatesOn("x")
+		var lo, hi int64
+		for _, p := range ps {
+			switch p.Op {
+			case filter.OpGT:
+				lo = p.Int
+			case filter.OpLT:
+				hi = p.Int
+			}
+		}
+		total += float64(hi-lo-1) / float64(domain)
+	}
+	mean := total / n
+	if mean < 0.40 || mean > 0.60 {
+		t.Errorf("mean range width = %.3f of domain, want ≈0.50", mean)
+	}
+}
+
+func TestWorkload3EqualityFraction(t *testing.T) {
+	g := MustGenerator(Workload3(), 11)
+	eq, tot := 0, 0
+	for i := 0; i < 1000; i++ {
+		sub := g.Subscription()
+		for _, a := range sub.Attributes() {
+			tot++
+			ps := sub.PredicatesOn(a)
+			if len(ps) == 1 && ps[0].Op == filter.OpEQ {
+				eq++
+			}
+		}
+	}
+	frac := float64(eq) / float64(tot)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("equality fraction = %.3f, want ≈0.20", frac)
+	}
+}
+
+func TestSubscriptionsMatchSomeEvents(t *testing.T) {
+	// Sanity: each preset produces a non-degenerate matching probability —
+	// subscriptions match some but not all events.
+	for _, spec := range Presets() {
+		g := MustGenerator(spec, 123)
+		subs := make([]filter.Subscription, 100)
+		for i := range subs {
+			subs[i] = g.Subscription()
+		}
+		matches := 0
+		const events = 200
+		for i := 0; i < events; i++ {
+			ev := g.Event()
+			for _, sub := range subs {
+				if sub.Matches(ev) {
+					matches++
+				}
+			}
+		}
+		frac := float64(matches) / float64(events*len(subs))
+		if frac <= 0 {
+			t.Errorf("%s: no subscription ever matched (degenerate workload)", spec.Name)
+		}
+		if frac >= 0.9 {
+			t.Errorf("%s: matching fraction %.2f too high (degenerate workload)", spec.Name, frac)
+		}
+		t.Logf("%s: matching fraction %.4f", spec.Name, frac)
+	}
+}
+
+func TestZipfSubscriptionsSkewed(t *testing.T) {
+	// Workload 3 subscription anchors are zipf-drawn with a small
+	// threshold offset: the bulk must sit in the low fifth of the domain.
+	g := MustGenerator(Workload3(), 5)
+	var low, total int
+	for i := 0; i < 500; i++ {
+		sub := g.Subscription()
+		for _, p := range sub {
+			if p.Op == filter.OpEQ || p.Op == filter.OpGT {
+				total++
+				if p.Int < domain/5 {
+					low++
+				}
+			}
+		}
+	}
+	if frac := float64(low) / float64(total); frac < 0.6 {
+		t.Errorf("only %.2f of zipf subscription anchors in the first fifth; want skew > 0.6", frac)
+	}
+}
