@@ -195,6 +195,29 @@ func BenchmarkAnalysis(b *testing.B) {
 
 // --- Micro-benchmarks of the hot paths -------------------------------------
 
+// BenchmarkFilterKey measures the canonical-key identity of predicates
+// and attribute filters — the group lookup key of every routing hop. Keys
+// are memoized at construction, so steady-state Key calls are field reads
+// and must not allocate.
+func BenchmarkFilterKey(b *testing.B) {
+	af, err := filter.NewAttrFilter("a", []filter.Predicate{
+		filter.Gt("a", 2), filter.Lt("a", 2000),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := filter.Prefix("s", "ab")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(af.Key()) + len(p.Key())
+	}
+	if sink == 0 {
+		b.Fatal("keys must be non-empty")
+	}
+}
+
 // BenchmarkEventMatch measures raw subscription matching.
 func BenchmarkEventMatch(b *testing.B) {
 	sub, _ := filter.ParseSubscription("a>2 && a<2000 && s=ab*")

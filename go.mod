@@ -1,0 +1,3 @@
+module github.com/dps-overlay/dps
+
+go 1.21

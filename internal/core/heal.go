@@ -26,9 +26,13 @@ import (
 // neighbours, which answer with acks.
 
 // heartbeatSendTargets collects the peers this node actively heartbeats.
+// The result aliases the node's heartbeat scratch view: it is valid only
+// until the next heartbeatSendTargets/expectedPeers call and must not be
+// retained.
 func (n *Node) heartbeatSendTargets() []sim.NodeID {
-	set := newView()
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	set := n.hbScratch
+	set.reset()
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if m.state != stateActive {
 			continue
@@ -38,25 +42,23 @@ func (n *Node) heartbeatSendTargets() []sim.NodeID {
 			for _, p := range m.parent.Nodes {
 				set.add(p)
 			}
-			for _, k := range sortedBranchKeys(m.branches) {
+			for _, k := range m.branchOrder {
 				for _, c := range m.branches[k].Nodes {
 					set.add(c)
 				}
 			}
 			// Probe a bounded slice of the partial group view.
-			for _, id := range m.members.headAfter(n.cfg.K, n.ID()) {
-				set.add(id)
-			}
+			set.addHeadAfter(m.members, n.cfg.K, n.ID())
 		default:
 			switch {
 			case m.isLeaderHere(n.ID()):
-				for _, id := range m.members.ids() {
+				for _, id := range m.members.list {
 					set.add(id)
 				}
 				for _, p := range m.parent.Nodes {
 					set.add(p)
 				}
-				for _, k := range sortedBranchKeys(m.branches) {
+				for _, k := range m.branchOrder {
 					for _, c := range m.branches[k].Nodes {
 						set.add(c)
 					}
@@ -67,14 +69,16 @@ func (n *Node) heartbeatSendTargets() []sim.NodeID {
 		}
 	}
 	set.remove(n.ID())
-	return set.ids()
+	return set.list
 }
 
 // expectedPeers collects the peers whose periodic traffic this node
-// relies on for liveness judgement.
+// relies on for liveness judgement. Like heartbeatSendTargets, the result
+// aliases the heartbeat scratch view and must not be retained.
 func (n *Node) expectedPeers() []sim.NodeID {
-	set := newView()
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	set := n.hbScratch
+	set.reset()
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if m.state != stateActive {
 			continue
@@ -85,20 +89,18 @@ func (n *Node) expectedPeers() []sim.NodeID {
 			for _, p := range m.parent.Nodes {
 				set.add(p)
 			}
-			for _, k := range sortedBranchKeys(m.branches) {
+			for _, k := range m.branchOrder {
 				for _, c := range m.branches[k].Nodes {
 					set.add(c)
 				}
 			}
-			for _, id := range m.members.headAfter(n.cfg.K, n.ID()) {
-				set.add(id)
-			}
+			set.addHeadAfter(m.members, n.cfg.K, n.ID())
 		default:
 			if m.leader != 0 && !m.isLeaderHere(n.ID()) {
 				set.add(m.leader) // the leader heartbeats all members
 			}
 			if m.isLeaderHere(n.ID()) {
-				for _, cl := range m.coLeaders.ids() {
+				for _, cl := range m.coLeaders.list {
 					set.add(cl) // co-leaders heartbeat their leader
 				}
 				// Adjacent leaders heartbeat their branch/parent contacts,
@@ -106,7 +108,7 @@ func (n *Node) expectedPeers() []sim.NodeID {
 				for _, p := range m.parent.Nodes[:min1(len(m.parent.Nodes))] {
 					set.add(p)
 				}
-				for _, k := range sortedBranchKeys(m.branches) {
+				for _, k := range m.branchOrder {
 					b := m.branches[k]
 					for _, c := range b.Nodes[:min1(len(b.Nodes))] {
 						set.add(c)
@@ -116,7 +118,7 @@ func (n *Node) expectedPeers() []sim.NodeID {
 		}
 	}
 	set.remove(n.ID())
-	return set.ids()
+	return set.list
 }
 
 func min1(n int) int {
@@ -146,10 +148,11 @@ func (n *Node) heartbeatRound(now int64) {
 	}
 	// Leaderless grace: an active leader-mode membership without a live
 	// leader re-attaches once no promotion announcement arrives in time.
+	// reattach can create the root membership synchronously: snapshot.
 	if n.cfg.Comm == LeaderBased {
-		for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		for _, key := range n.snapshotGroupKeys() {
 			m := n.groups[key]
-			if m.state != stateActive || m.isRoot || m.leader != 0 {
+			if m == nil || m.state != stateActive || m.isRoot || m.leader != 0 {
 				continue
 			}
 			switch {
@@ -170,7 +173,7 @@ func (n *Node) handleFailure(peer sim.NodeID) {
 	// Purge the dead peer from the entry-point registry of the trees we
 	// know about.
 	seen := map[string]bool{}
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.groupOrder {
 		attr := n.groups[key].af.Attr()
 		if !seen[attr] {
 			seen[attr] = true
@@ -178,9 +181,13 @@ func (n *Node) handleFailure(peer sim.NodeID) {
 		}
 	}
 	// Leadership first: promotions need the membership still marked
-	// active.
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	// active. replaceLeader can re-walk (and so create or drop
+	// memberships) synchronously: iterate a snapshot.
+	for _, key := range n.snapshotGroupKeys() {
 		m := n.groups[key]
+		if m == nil {
+			continue
+		}
 		m.members.remove(peer)
 		m.coLeaders.remove(peer)
 		// Leader replacement (§4.3): the first alive co-leader takes over.
@@ -191,8 +198,11 @@ func (n *Node) handleFailure(peer sim.NodeID) {
 	// Root reclamation next, so that any re-walk triggered by view repair
 	// below already targets a live owner.
 	n.reclaimRoots(peer)
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.snapshotGroupKeys() {
 		m := n.groups[key]
+		if m == nil {
+			continue
+		}
 		// Predview repair: drop the contact; if the whole predecessor view
 		// died, re-walk to re-attach the group.
 		if has(m.parent.Nodes, peer) {
@@ -202,10 +212,11 @@ func (n *Node) handleFailure(peer sim.NodeID) {
 		}
 		// Succview repair: drop the contact from the branch; an empty
 		// branch is removed — its members will re-attach themselves.
-		for _, k := range sortedBranchKeys(m.branches) {
+		// deleteBranch mutates the maintained order: iterate a copy.
+		for _, k := range append([]string(nil), m.branchOrder...) {
 			b := m.branches[k]
 			if has(b.Nodes, peer) && !b.dropNode(peer) {
-				delete(m.branches, k)
+				m.deleteBranch(k)
 			}
 		}
 	}
@@ -260,7 +271,7 @@ func (n *Node) replaceLeader(m *membership) {
 		AF:       m.af,
 		Members:  m.members.ids(),
 		Parent:   cloneBranch(m.parent),
-		Branches: branchList(m.branches),
+		Branches: m.branchList(),
 		Leader:   m.leader,
 		CoLead:   m.coLeaders.ids(),
 		Reply:    true,
@@ -297,7 +308,7 @@ func (n *Node) demoteInto(m *membership, winner sim.NodeID, winnerCoLead []sim.N
 		AF:       m.af,
 		Members:  mine,
 		Parent:   cloneBranch(m.parent),
-		Branches: branchList(m.branches),
+		Branches: m.branchList(),
 		Leader:   winner,
 		CoLead:   winnerCoLead,
 		Reply:    true,
@@ -308,7 +319,7 @@ func (n *Node) demoteInto(m *membership, winner sim.NodeID, winnerCoLead []sim.N
 // top-level groups there ("self-healing ... preserved at any time").
 func (n *Node) reclaimRoots(dead sim.NodeID) {
 	attrs := map[string]bool{}
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if !m.isRoot {
 			attrs[m.af.Attr()] = true // joining memberships count too
@@ -332,10 +343,11 @@ func (n *Node) reclaimRoots(dead sim.NodeID) {
 		}
 		n.cfg.Directory.ReplaceOwner(attr, n.ID())
 		n.ensureRoot(attr)
-		// Re-walk all our groups of that tree under the new root.
-		for _, key := range sortedBranchKeysOfGroups(n.groups) {
+		// Re-walk all our groups of that tree under the new root; the
+		// re-walks run synchronously and may mutate groups — snapshot.
+		for _, key := range n.snapshotGroupKeys() {
 			m := n.groups[key]
-			if m.af.Attr() == attr && !m.isRoot {
+			if m != nil && m.af.Attr() == attr && !m.isRoot {
 				n.reattach(m)
 			}
 		}
@@ -347,16 +359,18 @@ func (n *Node) reclaimRoots(dead sim.NodeID) {
 // group with the same filter merges memberships (duplicate-group merge)
 // and refreshes contacts.
 func (n *Node) viewExchangeRound() {
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	// Probes and root checks inside the loop can create, drop or re-key
+	// memberships synchronously: iterate a snapshot and re-check entries.
+	for _, key := range n.snapshotGroupKeys() {
 		m := n.groups[key]
-		if m.state != stateActive {
+		if m == nil || m.state != stateActive {
 			continue
 		}
 		msg := viewExchange{
 			AF:       m.af,
 			Members:  n.memberSample(m),
 			Parent:   cloneBranch(m.parent),
-			Branches: branchList(m.branches),
+			Branches: m.branchList(),
 			Leader:   m.leader,
 			CoLead:   m.coLeaders.ids(),
 		}
@@ -385,7 +399,7 @@ func (n *Node) viewExchangeRound() {
 		}
 		// The merge process: send the succview to succview contacts too.
 		if adjacent {
-			for _, k := range sortedBranchKeys(m.branches) {
+			for _, k := range m.branchOrder {
 				if cs := m.branches[k].Nodes; len(cs) > 0 {
 					targets = append(targets, cs[0])
 				}
@@ -448,11 +462,16 @@ func (n *Node) checkRootStillOwned(m *membership) {
 		return
 	}
 	// Someone else owns the tree now: hand our branches over.
-	for _, k := range sortedBranchKeys(m.branches) {
+	for _, k := range m.branchOrder {
 		b := m.branches[k]
 		for _, c := range b.Nodes {
 			n.send(c, rehome{AF: b.AF})
 		}
+	}
+	// The dissolving root may carry live subscriptions (a subscriber with
+	// a universal filter): they leave the delivery index with it.
+	for _, sub := range m.subs {
+		n.unindexSub(sub)
 	}
 	n.dropMembership(m.af.Key())
 }
@@ -490,7 +509,7 @@ func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
 						AF:       m.af,
 						Members:  m.members.ids(),
 						Parent:   cloneBranch(m.parent),
-						Branches: branchList(m.branches),
+						Branches: m.branchList(),
 						Leader:   n.ID(),
 						CoLead:   m.coLeaders.ids(),
 						Reply:    true,
@@ -512,7 +531,7 @@ func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
 			} else if (m.isRoot && from == m.leader) ||
 				(foreign && m.af.StrictlyIncludes(b.AF)) {
 				nb := cloneBranch(b)
-				m.branches[b.AF.Key()] = &nb
+				m.setBranch(b.AF.Key(), &nb)
 			}
 		}
 		if !msg.Reply {
@@ -520,7 +539,7 @@ func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
 				AF:       m.af,
 				Members:  n.memberSample(m),
 				Parent:   cloneBranch(m.parent),
-				Branches: branchList(m.branches),
+				Branches: m.branchList(),
 				Leader:   m.leader,
 				CoLead:   m.coLeaders.ids(),
 				Reply:    true,
@@ -555,7 +574,7 @@ func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
 	}
 	// Otherwise perhaps we are a child — check whether one of our groups
 	// appears in the sender's branch list and refresh our predview.
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.groupOrder {
 		mm := n.groups[key]
 		for _, b := range msg.Branches {
 			if b.AF.Key() == mm.af.Key() {

@@ -39,7 +39,29 @@ type membership struct {
 	members   *view              // groupview (self included)
 	parent    Branch             // predview: contacts toward the predecessor
 	branches  map[string]*Branch // succview: one entry per child group
-	isRoot    bool               // this membership hosts the tree root
+	// branchOrder holds the sorted canonical keys of branches, maintained
+	// on every branch mutation: deterministic child iteration is a slice
+	// range, not a per-call map-key sort. All writes to branches must go
+	// through setBranch/deleteBranch to keep the two in sync.
+	branchOrder []string
+	isRoot      bool // this membership hosts the tree root
+}
+
+// setBranch installs b under key in the succview, maintaining the
+// deterministic branch iteration order.
+func (m *membership) setBranch(key string, b *Branch) {
+	if _, dup := m.branches[key]; !dup {
+		m.branchOrder = insertSortedKey(m.branchOrder, key)
+	}
+	m.branches[key] = b
+}
+
+// deleteBranch removes the branch under key, maintaining the order.
+func (m *membership) deleteBranch(key string) {
+	if _, ok := m.branches[key]; ok {
+		delete(m.branches, key)
+		m.branchOrder = removeSortedKey(m.branchOrder, key)
+	}
 }
 
 // pendingPub is a publication buffered while its target group finishes
@@ -51,12 +73,27 @@ type pendingPub struct {
 
 // Node is one DPS peer: subscriber, publisher and router at once.
 // It is driven by an engine through the sim.Process interface.
+//
+// Deterministic iteration over groups and branches comes from maintained
+// sorted key slices (groupOrder, joiningOrder, membership.branchOrder),
+// updated incrementally on membership/branch mutation — not from
+// re-sorting map keys per call. Loops that may mutate the underlying maps
+// while iterating take a snapshot copy first; read-only loops range the
+// live slices directly.
 type Node struct {
 	env sim.Env
 	cfg Config
 
-	groups  map[string]*membership // by canonical filter key
-	joining map[string]*membership // subset of groups with state joining
+	groups     map[string]*membership // by canonical filter key
+	groupOrder []string               // sorted keys of groups (maintained)
+	joining    map[string]*membership // subset of groups with state joining
+	joinOrder  []string               // sorted keys of joining (maintained)
+
+	// subsByAttr indexes live subscriptions by their first attribute: a
+	// subscription can only match an event carrying that attribute, so
+	// notifyLocal probes only the lists of the event's own attributes
+	// instead of scanning every group × every subscription.
+	subsByAttr map[string][]indexedSub
 
 	seen    map[EventID]int64  // notify dedup: first-receipt step
 	routed  map[routeKey]int64 // per-(event, group) routing dedup
@@ -68,6 +105,11 @@ type Node struct {
 	suspected map[sim.NodeID]bool
 	nextHB    int64
 
+	// hbScratch is the reusable peer set built by heartbeatSendTargets and
+	// expectedPeers each round; its id list is valid only until the next
+	// reset and must not be retained.
+	hbScratch *view
+
 	onEvent   func(EventID, filter.Event) // first receipt (contacted)
 	onDeliver func(EventID, filter.Event) // matched a local subscription
 
@@ -75,6 +117,14 @@ type Node struct {
 	// after the current handler returns (inline dispatch would mutate
 	// membership state mid-iteration).
 	selfQ []any
+}
+
+// indexedSub is one entry of the per-attribute delivery index. The id
+// (Subscription.String) identifies the entry for removal, mirroring the
+// identity Unsubscribe matches on.
+type indexedSub struct {
+	sub filter.Subscription
+	id  string
 }
 
 var _ sim.Process = (*Node)(nil)
@@ -95,15 +145,108 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, errors.New("core: invalid view or heartbeat parameters")
 	}
 	return &Node{
-		cfg:       cfg,
-		groups:    make(map[string]*membership),
-		joining:   make(map[string]*membership),
-		seen:      make(map[EventID]int64),
-		routed:    make(map[routeKey]int64),
-		rumours:   make(map[string]int64),
-		lastSeen:  make(map[sim.NodeID]int64),
-		suspected: make(map[sim.NodeID]bool),
+		cfg:        cfg,
+		groups:     make(map[string]*membership),
+		joining:    make(map[string]*membership),
+		subsByAttr: make(map[string][]indexedSub),
+		seen:       make(map[EventID]int64),
+		routed:     make(map[routeKey]int64),
+		rumours:    make(map[string]int64),
+		lastSeen:   make(map[sim.NodeID]int64),
+		suspected:  make(map[sim.NodeID]bool),
+		hbScratch:  newView(),
 	}, nil
+}
+
+// --- Maintained orderings --------------------------------------------------
+
+// insertSortedKey inserts k into the sorted slice, keeping it sorted and
+// duplicate-free.
+func insertSortedKey(keys []string, k string) []string {
+	i := sort.SearchStrings(keys, k)
+	if i < len(keys) && keys[i] == k {
+		return keys
+	}
+	keys = append(keys, "")
+	copy(keys[i+1:], keys[i:])
+	keys[i] = k
+	return keys
+}
+
+// removeSortedKey deletes k from the sorted slice if present.
+func removeSortedKey(keys []string, k string) []string {
+	i := sort.SearchStrings(keys, k)
+	if i < len(keys) && keys[i] == k {
+		keys = append(keys[:i], keys[i+1:]...)
+	}
+	return keys
+}
+
+// addGroup installs m under key, maintaining the iteration order.
+func (n *Node) addGroup(key string, m *membership) {
+	if _, dup := n.groups[key]; !dup {
+		n.groupOrder = insertSortedKey(n.groupOrder, key)
+	}
+	n.groups[key] = m
+}
+
+// removeGroup deletes the membership under key, maintaining the order.
+func (n *Node) removeGroup(key string) {
+	if _, ok := n.groups[key]; ok {
+		delete(n.groups, key)
+		n.groupOrder = removeSortedKey(n.groupOrder, key)
+	}
+}
+
+// addJoining tracks m as walking, maintaining the retry iteration order.
+func (n *Node) addJoining(key string, m *membership) {
+	if _, dup := n.joining[key]; !dup {
+		n.joinOrder = insertSortedKey(n.joinOrder, key)
+	}
+	n.joining[key] = m
+}
+
+// removeJoining untracks a settled or dropped walk.
+func (n *Node) removeJoining(key string) {
+	if _, ok := n.joining[key]; ok {
+		delete(n.joining, key)
+		n.joinOrder = removeSortedKey(n.joinOrder, key)
+	}
+}
+
+// snapshotGroupKeys returns a copy of the group iteration order for loops
+// that may create or drop memberships while iterating (joins, healing,
+// anti-entropy). Entries must be re-looked-up — they can go stale mid-loop.
+func (n *Node) snapshotGroupKeys() []string {
+	return append([]string(nil), n.groupOrder...)
+}
+
+// --- Delivery index --------------------------------------------------------
+
+// indexSub registers a live subscription under its first attribute.
+func (n *Node) indexSub(sub filter.Subscription) {
+	attr := sub[0].Attr
+	n.subsByAttr[attr] = append(n.subsByAttr[attr], indexedSub{sub: sub, id: sub.String()})
+}
+
+// unindexSub removes one previously indexed subscription (by the same
+// string identity Unsubscribe matches on). Order of the remaining entries
+// is preserved so delivery iteration stays deterministic.
+func (n *Node) unindexSub(sub filter.Subscription) {
+	attr := sub[0].Attr
+	list := n.subsByAttr[attr]
+	id := sub.String()
+	for i := range list {
+		if list[i].id == id {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(n.subsByAttr, attr)
+		return
+	}
+	n.subsByAttr[attr] = list
 }
 
 // OnEventHook registers the contacted hook: fired on the first receipt of
@@ -126,16 +269,7 @@ func (n *Node) ID() sim.NodeID { return n.env.ID() }
 // Memberships returns the canonical keys of the groups the node currently
 // belongs to (diagnostic/test helper).
 func (n *Node) Memberships() []string {
-	return sortedBranchKeysOfGroups(n.groups)
-}
-
-func sortedBranchKeysOfGroups(groups map[string]*membership) []string {
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return append([]string(nil), n.groupOrder...)
 }
 
 // Group returns the membership for the canonical key (test helper).
@@ -179,7 +313,7 @@ func (n *Node) Inspect() map[string]MembershipInfo {
 // Subscriptions returns all live subscriptions of the node.
 func (n *Node) Subscriptions() []filter.Subscription {
 	var out []filter.Subscription
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		out = append(out, m.subs...)
 	}
@@ -200,6 +334,7 @@ func (n *Node) Subscribe(sub filter.Subscription) error {
 	}
 	if m, ok := n.groups[af.Key()]; ok {
 		m.subs = append(m.subs, sub)
+		n.indexSub(sub)
 		return nil
 	}
 	m := &membership{
@@ -210,8 +345,9 @@ func (n *Node) Subscribe(sub filter.Subscription) error {
 		members:   newView(n.ID()),
 		branches:  make(map[string]*Branch),
 	}
-	n.groups[af.Key()] = m
-	n.joining[af.Key()] = m
+	n.addGroup(af.Key(), m)
+	n.addJoining(af.Key(), m)
+	n.indexSub(sub)
 	n.startJoin(m)
 	return nil
 }
@@ -220,19 +356,21 @@ func (n *Node) Subscribe(sub filter.Subscription) error {
 func (n *Node) setActive(m *membership) {
 	m.state = stateActive
 	m.retries = 0
-	delete(n.joining, m.af.Key())
+	n.removeJoining(m.af.Key())
 }
 
 // setJoining marks a membership as walking (initial join or re-attach).
 func (n *Node) setJoining(m *membership) {
 	m.state = stateJoining
-	n.joining[m.af.Key()] = m
+	n.addJoining(m.af.Key(), m)
 }
 
-// dropMembership removes a membership from all indexes.
+// dropMembership removes a membership from all indexes. Subscriptions the
+// membership still carries stay registered in the delivery index; callers
+// discarding them for good (root dissolution) deindex explicitly.
 func (n *Node) dropMembership(key string) {
-	delete(n.groups, key)
-	delete(n.joining, key)
+	n.removeGroup(key)
+	n.removeJoining(key)
 }
 
 // Unsubscribe withdraws one previously registered subscription. When the
@@ -259,6 +397,7 @@ func (n *Node) Unsubscribe(sub filter.Subscription) error {
 	if !found {
 		return fmt.Errorf("core: subscription %v not found", sub)
 	}
+	n.unindexSub(sub)
 	if len(m.subs) == 0 {
 		n.leaveGroup(m)
 	}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// These tests pin the incremental-ordering refactor: deterministic
+// iteration over groups and branches now comes from maintained sorted
+// slices, not from re-sorting map keys per call. The invariant below is
+// what every routing loop relies on.
+
+// assertOrderInvariants checks that a node's maintained iteration orders
+// exactly mirror the sorted key sets of the maps they index, and that the
+// delivery index holds precisely the node's live subscriptions.
+func assertOrderInvariants(t *testing.T, id sim.NodeID, n *Node) {
+	t.Helper()
+	wantGroups := make([]string, 0, len(n.groups))
+	for k := range n.groups {
+		wantGroups = append(wantGroups, k)
+	}
+	sort.Strings(wantGroups)
+	if !reflect.DeepEqual(append([]string{}, n.groupOrder...), wantGroups) {
+		t.Fatalf("node %d: groupOrder %q does not match sorted group keys %q", id, n.groupOrder, wantGroups)
+	}
+	wantJoin := make([]string, 0, len(n.joining))
+	for k := range n.joining {
+		wantJoin = append(wantJoin, k)
+	}
+	sort.Strings(wantJoin)
+	if !reflect.DeepEqual(append([]string{}, n.joinOrder...), wantJoin) {
+		t.Fatalf("node %d: joinOrder %q does not match sorted joining keys %q", id, n.joinOrder, wantJoin)
+	}
+	for gk, m := range n.groups {
+		wantBranches := make([]string, 0, len(m.branches))
+		for k := range m.branches {
+			wantBranches = append(wantBranches, k)
+		}
+		sort.Strings(wantBranches)
+		if !reflect.DeepEqual(append([]string{}, m.branchOrder...), wantBranches) {
+			t.Fatalf("node %d group %q: branchOrder %q does not match sorted branch keys %q",
+				id, gk, m.branchOrder, wantBranches)
+		}
+	}
+	// Delivery index ⇔ live subscriptions, as multisets of identities.
+	indexed := map[string]int{}
+	for attr, list := range n.subsByAttr {
+		if len(list) == 0 {
+			t.Fatalf("node %d: empty delivery-index bucket for %q", id, attr)
+		}
+		for _, e := range list {
+			if e.sub[0].Attr != attr {
+				t.Fatalf("node %d: subscription %v indexed under %q, first attribute is %q",
+					id, e.sub, attr, e.sub[0].Attr)
+			}
+			indexed[e.id]++
+		}
+	}
+	live := map[string]int{}
+	for _, m := range n.groups {
+		for _, sub := range m.subs {
+			live[sub.String()]++
+		}
+	}
+	if !reflect.DeepEqual(indexed, live) {
+		t.Fatalf("node %d: delivery index %v does not match live subscriptions %v", id, indexed, live)
+	}
+}
+
+// churnCluster drives a cluster through joins, publications, failures and
+// unsubscriptions — every code path that mutates groups or branches.
+func churnCluster(t *testing.T, mutate func(*Config)) *cluster {
+	t.Helper()
+	const nodes = 30
+	c := newCluster(t, nodes, mutate)
+	rng := rand.New(rand.NewSource(99))
+	subs := []string{
+		"a>2", "a>2 && a<20", "a>10", "a<5", "a=7",
+		"b=x*", "b=*y", "a>2 && b=x*", "c>0", "c>0 && c<100",
+	}
+	for i := 1; i <= nodes; i++ {
+		c.subscribe(sim.NodeID(i), subs[i%len(subs)])
+		if i%3 == 0 {
+			c.subscribe(sim.NodeID(i), subs[(i+4)%len(subs)])
+		}
+	}
+	c.settle(120)
+	for i := 0; i < 10; i++ {
+		c.publish(sim.NodeID(1+rng.Intn(nodes)), fmt.Sprintf("a=%d, b=xy, c=%d", rng.Intn(30), rng.Intn(120)))
+		c.settle(6)
+	}
+	// Kill a few nodes to exercise the healing paths.
+	c.engine.Kill(3)
+	c.engine.Kill(11)
+	c.settle(150)
+	// Unsubscribe some survivors to exercise leaves and index removal.
+	for _, id := range []sim.NodeID{5, 9, 12} {
+		node := c.nodes[id]
+		for _, sub := range node.Subscriptions() {
+			if err := node.Unsubscribe(sub); err != nil {
+				t.Fatalf("unsubscribe %d: %v", id, err)
+			}
+			break
+		}
+	}
+	c.settle(80)
+	for i := 0; i < 5; i++ {
+		c.publish(sim.NodeID(1+rng.Intn(nodes)), fmt.Sprintf("a=%d, c=%d", rng.Intn(30), rng.Intn(120)))
+		c.settle(6)
+	}
+	return c
+}
+
+// TestMaintainedOrderInvariant runs the full protocol through churn and
+// asserts the maintained orderings and the delivery index stayed in sync
+// with the maps, for every live node, in every mode combination.
+func TestMaintainedOrderInvariant(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"leader-root", nil},
+		{"leader-generic", func(cfg *Config) { cfg.Traversal = Generic }},
+		{"epidemic-root", func(cfg *Config) { cfg.Comm = Epidemic; cfg.Fanout = 2; cfg.CrossFanout = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := churnCluster(t, tc.mutate)
+			for id, node := range c.nodes {
+				if !c.engine.Alive(id) {
+					continue
+				}
+				assertOrderInvariants(t, id, node)
+			}
+		})
+	}
+}
+
+// TestProtocolTraceDeterminism runs the same seeded scenario twice and
+// requires identical contacted/delivered traces — the incremental
+// orderings must reproduce exactly the iteration order the seed derived
+// by sorting map keys on every call.
+func TestProtocolTraceDeterminism(t *testing.T) {
+	run := func() (map[EventID]map[sim.NodeID]bool, map[EventID]map[sim.NodeID]bool) {
+		c := churnCluster(t, nil)
+		return c.contacted, c.delivered
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("contacted traces differ between identically-seeded runs")
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("delivered traces differ between identically-seeded runs")
+	}
+}

@@ -43,9 +43,10 @@ func (n *Node) handlePublishTree(msg publishTree) {
 }
 
 // activeMembershipIn returns a deterministic active membership in the
-// tree of attr, or nil.
+// tree of attr, or nil. Iteration follows the maintained group order, the
+// same canonical-key order the seed derived by sorting map keys.
 func (n *Node) activeMembershipIn(attr string) *membership {
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if m.af.Attr() == attr && m.state == stateActive {
 			return m
@@ -139,9 +140,12 @@ func (n *Node) groupRelay(m *membership) (sim.NodeID, bool) {
 }
 
 // forwardDown sends the event into every child branch whose filter matches
-// the published value, skipping the branch the event came from.
+// the published value, skipping the branch the event came from. Branch
+// iteration follows the membership's maintained order; contact selection
+// fills a small stack buffer per branch (handlePublishTree can recurse when
+// a contact is this node, so the buffer must be per-frame, not shared).
 func (n *Node) forwardDown(m *membership, msg publishTree, v filter.Value) {
-	for _, k := range sortedBranchKeys(m.branches) {
+	for _, k := range m.branchOrder {
 		b := m.branches[k]
 		if !b.AF.Matches(v) {
 			continue // prune the whole subtree (Def. 4 guarantees safety)
@@ -151,7 +155,8 @@ func (n *Node) forwardDown(m *membership, msg publishTree, v filter.Value) {
 		}
 		down := publishTree{ID: msg.ID, Event: msg.Event, Attr: msg.Attr,
 			Mode: msg.Mode, AF: b.AF}
-		for _, c := range n.branchContacts(b) {
+		var buf [8]sim.NodeID
+		for _, c := range n.branchContacts(buf[:0], b) {
 			if c == n.ID() {
 				n.handlePublishTree(down)
 				continue
@@ -168,13 +173,15 @@ func (n *Node) forwardUp(m *membership, msg publishTree) {
 	}
 	up := publishTree{ID: msg.ID, Event: msg.Event, Attr: msg.Attr,
 		Mode: msg.Mode, AF: m.parent.AF, Up: true, FromAF: m.af}
-	targets := make([]sim.NodeID, 0, n.crossFanout())
+	var buf [8]sim.NodeID
+	targets := buf[:0]
+	k := n.crossFanout()
 	for _, c := range m.parent.Nodes {
 		if n.suspected[c] {
 			continue
 		}
 		targets = append(targets, c)
-		if len(targets) == n.crossFanout() {
+		if len(targets) == k {
 			break
 		}
 	}
@@ -190,25 +197,25 @@ func (n *Node) forwardUp(m *membership, msg publishTree) {
 	}
 }
 
-// branchContacts returns the contacts addressed per tree edge: one in
-// leader mode (the child leader; suspicion moves to the next), k' in
-// epidemic mode.
-func (n *Node) branchContacts(b *Branch) []sim.NodeID {
+// branchContacts appends to dst the contacts addressed per tree edge: one
+// in leader mode (the child leader; suspicion moves to the next), k' in
+// epidemic mode. dst is caller-provided scratch (usually a stack buffer)
+// so steady-state routing does not allocate per branch.
+func (n *Node) branchContacts(dst []sim.NodeID, b *Branch) []sim.NodeID {
 	k := n.crossFanout()
-	out := make([]sim.NodeID, 0, k)
 	for _, c := range b.Nodes {
 		if n.suspected[c] {
 			continue
 		}
-		out = append(out, c)
-		if len(out) == k {
-			return out
+		dst = append(dst, c)
+		if len(dst) == k {
+			return dst
 		}
 	}
-	if len(out) == 0 && len(b.Nodes) > 0 {
-		out = append(out, b.Nodes[0]) // all suspected: try anyway
+	if len(dst) == 0 && len(b.Nodes) > 0 {
+		dst = append(dst, b.Nodes[0]) // all suspected: try anyway
 	}
-	return out
+	return dst
 }
 
 func (n *Node) crossFanout() int {
@@ -304,6 +311,12 @@ func (n *Node) handlePublishGroup(from sim.NodeID, msg publishGroup) {
 }
 
 // notifyLocal fires the contacted/delivered hooks exactly once per event.
+// Matching consults the per-attribute delivery index: a subscription can
+// only match an event that carries its first attribute, so only the
+// index lists of the event's own attributes are probed — not every group
+// × every subscription. The delivered hook fires at most once per event
+// regardless of how many subscriptions match, so probe order cannot
+// change observable behaviour.
 func (n *Node) notifyLocal(id EventID, ev filter.Event) {
 	if _, dup := n.seen[id]; dup {
 		return
@@ -312,9 +325,9 @@ func (n *Node) notifyLocal(id EventID, ev filter.Event) {
 	if n.onEvent != nil {
 		n.onEvent(id, ev)
 	}
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
-		for _, sub := range n.groups[key].subs {
-			if sub.Matches(ev) {
+	for i := range ev {
+		for _, e := range n.subsByAttr[ev[i].Attr] {
+			if e.sub.Matches(ev) {
 				if n.onDeliver != nil {
 					n.onDeliver(id, ev)
 				}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"github.com/dps-overlay/dps/internal/filter"
 	"github.com/dps-overlay/dps/internal/sim"
 )
@@ -63,7 +61,7 @@ func (n *Node) ensureRoot(attr string) *membership {
 		branches:  make(map[string]*Branch),
 		isRoot:    true,
 	}
-	n.groups[af.Key()] = m
+	n.addGroup(af.Key(), m)
 	n.cfg.Directory.AddContact(attr, n.ID())
 	return m
 }
@@ -75,14 +73,12 @@ func (n *Node) retryJoins(now int64) {
 		return
 	}
 	const retryAfter = 30
-	keys := make([]string, 0, len(n.joining))
-	for k := range n.joining {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	// startJoin can settle or drop walks synchronously (a local walk ends
+	// in acceptMember), so iterate a snapshot and re-check each entry.
+	keys := append([]string(nil), n.joinOrder...)
 	for _, key := range keys {
-		m := n.joining[key]
-		if now-m.sentAt >= retryAfter {
+		m, ok := n.joining[key]
+		if ok && now-m.sentAt >= retryAfter {
 			n.startJoin(m)
 		}
 	}
@@ -151,8 +147,9 @@ func (n *Node) walkMembership(f findGroup) *membership {
 		return m
 	}
 	// Otherwise any active membership in that tree (generic traversal may
-	// land anywhere; deterministic pick for reproducibility).
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	// land anywhere; deterministic pick for reproducibility — the
+	// maintained group order matches the seed's sorted-key iteration).
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if m.af.Attr() == attr && m.state == stateActive {
 			return m
@@ -197,7 +194,7 @@ func (n *Node) walkFrom(m *membership, f findGroup) {
 				// sure the branch entry exists (it may have been lost to
 				// healing), never create a second instance.
 				if _, okB := m.branches[f.AF.Key()]; !okB {
-					m.branches[f.AF.Key()] = &Branch{AF: f.AF, Nodes: []sim.NodeID{f.Subscriber}}
+					m.setBranch(f.AF.Key(), &Branch{AF: f.AF, Nodes: []sim.NodeID{f.Subscriber}})
 				}
 				return
 			}
@@ -232,7 +229,7 @@ func (n *Node) walkFrom(m *membership, f findGroup) {
 // a re-attaching subscriber then re-anchors its existing group here via
 // CREATE GROUP, which overwrites the stale branch entry.
 func (n *Node) routeDown(m *membership, f findGroup) (sim.NodeID, filter.AttrFilter, bool) {
-	keys := sortedBranchKeys(m.branches)
+	keys := m.branchOrder
 	for _, k := range keys {
 		b := m.branches[k]
 		if b.AF.SameExtension(f.AF) {
@@ -352,14 +349,14 @@ func (n *Node) memberSample(m *membership) []sim.NodeID {
 // by it (CREATE GROUP).
 func (n *Node) createChild(m *membership, f findGroup) {
 	var adopted []Branch
-	for _, k := range sortedBranchKeys(m.branches) {
+	for _, k := range append([]string(nil), m.branchOrder...) {
 		b := m.branches[k]
 		if f.AF.StrictlyIncludes(b.AF) {
 			adopted = append(adopted, cloneBranch(*b))
-			delete(m.branches, k)
+			m.deleteBranch(k)
 		}
 	}
-	m.branches[f.AF.Key()] = &Branch{AF: f.AF, Nodes: []sim.NodeID{f.Subscriber}}
+	m.setBranch(f.AF.Key(), &Branch{AF: f.AF, Nodes: []sim.NodeID{f.Subscriber}})
 	parentContacts := append([]sim.NodeID{n.ID()}, m.coLeaders.headAfter(n.cfg.K-1)...)
 	msg := createGroup{
 		AF:      f.AF,
@@ -391,7 +388,7 @@ func (n *Node) maybeRecruitCoOwner(m *membership, sub sim.NodeID) {
 		Leader:    n.ID(),
 		CoLeaders: m.coLeaders.ids(),
 		Members:   m.members.ids(),
-		Branches:  branchList(m.branches),
+		Branches:  m.branchList(),
 	})
 }
 
@@ -408,7 +405,7 @@ func (n *Node) handleRootInvite(msg rootInvite) {
 			branches:  make(map[string]*Branch),
 			isRoot:    true,
 		}
-		n.groups[af.Key()] = m
+		n.addGroup(af.Key(), m)
 	}
 	m.leader = msg.Leader
 	m.leaderlessAt = 0
@@ -419,7 +416,7 @@ func (n *Node) handleRootInvite(msg rootInvite) {
 	for _, b := range msg.Branches {
 		if _, dup := m.branches[b.AF.Key()]; !dup {
 			nb := cloneBranch(b)
-			m.branches[b.AF.Key()] = &nb
+			m.setBranch(b.AF.Key(), &nb)
 		}
 	}
 }
@@ -443,7 +440,7 @@ func (n *Node) handleCreateGroup(from sim.NodeID, msg createGroup) {
 	m.parent = msg.Parent
 	for _, b := range msg.Adopted {
 		nb := cloneBranch(b)
-		m.branches[b.AF.Key()] = &nb
+		m.setBranch(b.AF.Key(), &nb)
 		// Tell the adopted groups about their new predecessor.
 		np := Branch{AF: m.af, Nodes: []sim.NodeID{n.ID()}}
 		for _, c := range b.Nodes {
@@ -470,7 +467,7 @@ func (n *Node) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 				AF:       m.af,
 				Members:  m.members.ids(),
 				Parent:   cloneBranch(m.parent),
-				Branches: branchList(m.branches),
+				Branches: m.branchList(),
 				Leader:   n.ID(),
 				CoLead:   m.coLeaders.ids(),
 				Reply:    true,
@@ -484,9 +481,9 @@ func (n *Node) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 		if jm, okW := n.groups[msg.Wanted.Key()]; okW {
 			n.dropMembership(msg.Wanted.Key())
 			jm.af = msg.AF
-			n.groups[msg.AF.Key()] = jm
+			n.addGroup(msg.AF.Key(), jm)
 			if jm.state == stateJoining {
-				n.joining[msg.AF.Key()] = jm
+				n.addJoining(msg.AF.Key(), jm)
 			}
 			m, ok = jm, true
 		}
@@ -670,7 +667,7 @@ func (n *Node) leaveGroup(m *membership) {
 	if len(alive) == 0 {
 		// Last member: dissolve the group; the parent adopts our children.
 		if p, ok := m.parent.first(); ok {
-			n.send(p, leave{AF: m.af, Member: n.ID(), Branches: branchList(m.branches)})
+			n.send(p, leave{AF: m.af, Member: n.ID(), Branches: m.branchList()})
 		}
 		return
 	}
@@ -703,7 +700,7 @@ func (n *Node) handOverLeadership(m *membership, alive []sim.NodeID) {
 		AF:       m.af,
 		Members:  m.members.ids(),
 		Parent:   cloneBranch(m.parent),
-		Branches: branchList(m.branches),
+		Branches: m.branchList(),
 		Leader:   successor,
 		CoLead:   m.coLeaders.ids(),
 		Reply:    true,
@@ -719,7 +716,7 @@ func (n *Node) notifyNeighboursOfContacts(m *membership, contacts []sim.NodeID) 
 	for _, p := range m.parent.Nodes {
 		n.send(p, branchUpdate{Parent: m.parent.AF, Child: cloneBranch(self)})
 	}
-	for _, k := range sortedBranchKeys(m.branches) {
+	for _, k := range m.branchOrder {
 		b := m.branches[k]
 		for _, c := range b.Nodes {
 			n.send(c, adopt{AF: b.AF, NewParent: cloneBranch(self)})
@@ -733,11 +730,11 @@ func (n *Node) handleLeave(msg leave) {
 	if len(msg.Branches) > 0 {
 		m := n.membershipWithBranch(msg.AF)
 		if m != nil {
-			delete(m.branches, msg.AF.Key())
+			m.deleteBranch(msg.AF.Key())
 			np := Branch{AF: m.af, Nodes: append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...)}
 			for _, b := range msg.Branches {
 				nb := cloneBranch(b)
-				m.branches[b.AF.Key()] = &nb
+				m.setBranch(b.AF.Key(), &nb)
 				for _, c := range b.Nodes {
 					n.send(c, adopt{AF: b.AF, NewParent: cloneBranch(np)})
 				}
@@ -750,7 +747,7 @@ func (n *Node) handleLeave(msg leave) {
 		// Maybe we are the parent: a childless last member left.
 		if pm := n.membershipWithBranch(msg.AF); pm != nil {
 			if b := pm.branches[msg.AF.Key()]; b != nil && !b.dropNode(msg.Member) {
-				delete(pm.branches, msg.AF.Key())
+				pm.deleteBranch(msg.AF.Key())
 			}
 		}
 		return
@@ -780,13 +777,13 @@ func (n *Node) handleBranchUpdate(msg branchUpdate) {
 	// Unknown branch: accept it if it belongs below us (healing).
 	if m.af.IsUniversal() || m.af.StrictlyIncludes(msg.Child.AF) {
 		nb := cloneBranch(msg.Child)
-		m.branches[msg.Child.AF.Key()] = &nb
+		m.setBranch(msg.Child.AF.Key(), &nb)
 	}
 }
 
 // membershipWithBranch finds the membership holding a branch for af.
 func (n *Node) membershipWithBranch(af filter.AttrFilter) *membership {
-	for _, key := range sortedBranchKeysOfGroups(n.groups) {
+	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if _, ok := m.branches[af.Key()]; ok {
 			return m
@@ -813,11 +810,11 @@ func (m *membership) isLeaderHere(id sim.NodeID) bool {
 }
 
 // branchList copies the succview into a shippable slice, canonically
-// ordered.
-func branchList(branches map[string]*Branch) []Branch {
-	out := make([]Branch, 0, len(branches))
-	for _, k := range sortedBranchKeys(branches) {
-		out = append(out, cloneBranch(*branches[k]))
+// ordered (the maintained branch order).
+func (m *membership) branchList() []Branch {
+	out := make([]Branch, 0, len(m.branches))
+	for _, k := range m.branchOrder {
+		out = append(out, cloneBranch(*m.branches[k]))
 	}
 	return out
 }

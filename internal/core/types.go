@@ -8,6 +8,20 @@
 // Nodes are written sans-IO against the sim.Env contract, so the same
 // protocol code runs on the deterministic cycle engine (internal/sim) and
 // on the live goroutine runtime (internal/livenet).
+//
+// # Ordering invariant
+//
+// Every loop over a node's groups or a membership's branches iterates in
+// canonical (sorted) key order, and that order now comes from maintained
+// slices — Node.groupOrder, Node.joinOrder, membership.branchOrder —
+// updated incrementally when a membership or branch is added or removed,
+// not from re-sorting map keys at each call site. All map mutations must
+// go through the maintaining helpers (addGroup/removeGroup,
+// setBranch/deleteBranch, addJoining/removeJoining); loops that can
+// mutate the maps mid-iteration take a snapshot copy first. The invariant
+// (maintained slice ≡ sorted map keys) is asserted by
+// TestMaintainedOrderInvariant, and trace determinism (same seed ⇒
+// identical simulation) by TestProtocolTraceDeterminism.
 package core
 
 import (

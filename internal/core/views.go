@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sort"
 
 	"github.com/dps-overlay/dps/internal/sim"
 )
@@ -86,18 +85,16 @@ func (v *view) bound(max int, rng *rand.Rand) {
 }
 
 // sample returns up to k distinct entries drawn uniformly, excluding the
-// given ids.
+// given ids. Exclusion lists are tiny (self plus at most one peer), so a
+// linear scan beats building a set. The returned slice is freshly
+// allocated and may be retained by the caller.
 func (v *view) sample(rng *rand.Rand, k int, exclude ...sim.NodeID) []sim.NodeID {
 	if k <= 0 {
 		return nil
 	}
-	ex := make(map[sim.NodeID]bool, len(exclude))
-	for _, id := range exclude {
-		ex[id] = true
-	}
 	pool := make([]sim.NodeID, 0, len(v.list))
 	for _, id := range v.list {
-		if !ex[id] {
+		if !has(exclude, id) {
 			pool = append(pool, id)
 		}
 	}
@@ -115,13 +112,9 @@ func (v *view) headAfter(k int, exclude ...sim.NodeID) []sim.NodeID {
 	if k <= 0 {
 		return nil
 	}
-	ex := make(map[sim.NodeID]bool, len(exclude))
-	for _, id := range exclude {
-		ex[id] = true
-	}
 	out := make([]sim.NodeID, 0, k)
 	for _, id := range v.list {
-		if ex[id] {
+		if has(exclude, id) {
 			continue
 		}
 		out = append(out, id)
@@ -132,15 +125,31 @@ func (v *view) headAfter(k int, exclude ...sim.NodeID) []sim.NodeID {
 	return out
 }
 
-// sortedBranchKeys returns the branch keys in canonical order, matching the
-// oracle's deterministic child iteration.
-func sortedBranchKeys(branches map[string]*Branch) []string {
-	keys := make([]string, 0, len(branches))
-	for k := range branches {
-		keys = append(keys, k)
+// reset empties the view in place for reuse as a scratch set, keeping the
+// allocated map and slice capacity.
+func (v *view) reset() {
+	clear(v.set)
+	v.list = v.list[:0]
+}
+
+// addHeadAfter adds up to k of src's oldest entries to v, skipping
+// exclude — the allocation-free form of headAfter used when building the
+// heartbeat scratch set.
+func (v *view) addHeadAfter(src *view, k int, exclude sim.NodeID) {
+	if k <= 0 {
+		return
 	}
-	sort.Strings(keys)
-	return keys
+	taken := 0
+	for _, id := range src.list {
+		if id == exclude {
+			continue
+		}
+		v.add(id)
+		taken++
+		if taken == k {
+			return
+		}
+	}
 }
 
 // cloneBranch copies a branch (views cross node boundaries by value).

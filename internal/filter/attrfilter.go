@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // AttrFilter is the conjunction of one subscription's predicates over a
@@ -29,12 +30,37 @@ type AttrFilter struct {
 	preds     []Predicate // canonical, sorted by Key; nil for universal/empty
 	empty     bool        // conjunction is unsatisfiable (matches nothing)
 	universal bool        // matches every value (tree-root label)
+
+	// key caches Key(). Every constructor fills it, so the overlay's
+	// group lookups, branch-map keys and route keys are plain field reads.
+	// Copies of the value carry the cache with them; the zero AttrFilter
+	// (and values assembled outside the constructors) fall back to
+	// computing it.
+	key string
 }
+
+// uniCache interns universal filters by attribute. Routing asks for the
+// root label of the same few attributes on every publication and walk
+// step; interning makes those requests allocation-free. Universal filters
+// are immutable values, so sharing across goroutines is safe. The cache
+// grows with the attribute universe — the same bound the Directory's
+// per-attribute maps already live with.
+var uniCache sync.Map // string → AttrFilter
 
 // UniversalFilter returns the filter matching every value of attr; it
 // labels the root group of the attribute's tree.
 func UniversalFilter(attr string) AttrFilter {
-	return AttrFilter{attr: attr, universal: true}
+	if f, ok := uniCache.Load(attr); ok {
+		return f.(AttrFilter)
+	}
+	f := AttrFilter{attr: attr, universal: true, key: attr + "\x00T"}
+	uniCache.Store(attr, f)
+	return f
+}
+
+// emptyFilter returns the canonical unsatisfiable filter on attr.
+func emptyFilter(attr string) AttrFilter {
+	return AttrFilter{attr: attr, empty: true, key: attr + "\x00F"}
 }
 
 // NewAttrFilter canonicalises the conjunction of preds, which must all
@@ -91,7 +117,7 @@ func canonicalise(attr string, preds []Predicate) AttrFilter {
 	if len(ints) > 0 && len(strs) > 0 {
 		// A value has a single type; an int and a string constraint can
 		// never hold together.
-		return AttrFilter{attr: attr, empty: true}
+		return emptyFilter(attr)
 	}
 	var canon []Predicate
 	var empty bool
@@ -101,10 +127,20 @@ func canonicalise(attr string, preds []Predicate) AttrFilter {
 		canon, empty = canonString(strs)
 	}
 	if empty {
-		return AttrFilter{attr: attr, empty: true}
+		return emptyFilter(attr)
 	}
-	sort.Slice(canon, func(i, j int) bool { return canon[i].Key() < canon[j].Key() })
-	return AttrFilter{attr: attr, preds: canon}
+	// Surviving predicates may have arrived without a memoized key (gob
+	// decode rebuilds only the exported fields); fill the caches so the
+	// sort below and every later Key call are field reads.
+	for i := range canon {
+		if canon[i].key == "" {
+			canon[i].key = canon[i].computeKey()
+		}
+	}
+	sort.Slice(canon, func(i, j int) bool { return canon[i].key < canon[j].key })
+	f := AttrFilter{attr: attr, preds: canon}
+	f.key = f.computeKey()
+	return f
 }
 
 // canonInt reduces integer predicates to one of: a single equality, a lower
@@ -292,8 +328,18 @@ func (f AttrFilter) SameExtension(g AttrFilter) bool {
 
 // Key returns a canonical string identity: equal keys imply equivalent
 // filters, and canonicalisation makes the converse hold for all integer
-// filters and for string filters built from the same predicate set.
+// filters and for string filters built from the same predicate set. The
+// key is memoized at construction (and survives value copies); only
+// filters assembled outside the constructors pay for a recomputation.
 func (f AttrFilter) Key() string {
+	if f.key != "" {
+		return f.key
+	}
+	return f.computeKey()
+}
+
+// computeKey derives the canonical identity from the filter's fields.
+func (f AttrFilter) computeKey() string {
 	switch {
 	case f.universal:
 		return f.attr + "\x00T"

@@ -128,25 +128,32 @@ func (v Value) String() string {
 // Predicate is an elementary filter (attr op operand) — the AF of the paper.
 // The operand lives in Int or Str according to Type. Predicates should be
 // built with the constructors (Gt, Lt, EqInt, EqStr, Prefix, Suffix,
-// Contains, Any) which canonicalise and validate; the zero Predicate is
-// invalid.
+// Contains, Any) which canonicalise, validate and memoize the canonical
+// Key; the zero Predicate is invalid.
 type Predicate struct {
 	Attr string
 	Type Type
 	Op   Op
 	Int  int64
 	Str  string
+
+	// key caches Key(). Constructors fill it; a predicate assembled
+	// field-by-field (gob decode of the exported fields, in-package
+	// literals) recomputes lazily. The field is unexported so it never
+	// travels on the wire and never participates in == comparisons made
+	// through Equal.
+	key string
 }
 
 // Any returns the universal predicate on attr: it matches every value
 // published under attr regardless of type. Tree roots are labelled with it.
 func Any(attr string) Predicate {
-	return Predicate{Attr: attr, Op: OpAny}
+	return memoized(Predicate{Attr: attr, Op: OpAny})
 }
 
 // Gt returns the numeric predicate attr > c.
 func Gt(attr string, c int64) Predicate {
-	return Predicate{Attr: attr, Type: TypeInt, Op: OpGT, Int: c}
+	return memoized(Predicate{Attr: attr, Type: TypeInt, Op: OpGT, Int: c})
 }
 
 // Ge returns attr >= c canonicalised to attr > c-1 (integer domain).
@@ -163,7 +170,7 @@ func Ge(attr string, c int64) Predicate {
 
 // Lt returns the numeric predicate attr < c.
 func Lt(attr string, c int64) Predicate {
-	return Predicate{Attr: attr, Type: TypeInt, Op: OpLT, Int: c}
+	return memoized(Predicate{Attr: attr, Type: TypeInt, Op: OpLT, Int: c})
 }
 
 // Le returns attr <= c canonicalised to attr < c+1 (integer domain).
@@ -176,27 +183,27 @@ func Le(attr string, c int64) Predicate {
 
 // EqInt returns the numeric equality predicate attr = v.
 func EqInt(attr string, v int64) Predicate {
-	return Predicate{Attr: attr, Type: TypeInt, Op: OpEQ, Int: v}
+	return memoized(Predicate{Attr: attr, Type: TypeInt, Op: OpEQ, Int: v})
 }
 
 // EqStr returns the string equality predicate attr = s.
 func EqStr(attr, s string) Predicate {
-	return Predicate{Attr: attr, Type: TypeString, Op: OpEQ, Str: s}
+	return memoized(Predicate{Attr: attr, Type: TypeString, Op: OpEQ, Str: s})
 }
 
 // Prefix returns the string predicate "attr = s*" (values starting with s).
 func Prefix(attr, s string) Predicate {
-	return Predicate{Attr: attr, Type: TypeString, Op: OpPrefix, Str: s}
+	return memoized(Predicate{Attr: attr, Type: TypeString, Op: OpPrefix, Str: s})
 }
 
 // Suffix returns the string predicate "attr = *s" (values ending with s).
 func Suffix(attr, s string) Predicate {
-	return Predicate{Attr: attr, Type: TypeString, Op: OpSuffix, Str: s}
+	return memoized(Predicate{Attr: attr, Type: TypeString, Op: OpSuffix, Str: s})
 }
 
 // Contains returns the string predicate "attr = *s*" (values containing s).
 func Contains(attr, s string) Predicate {
-	return Predicate{Attr: attr, Type: TypeString, Op: OpContains, Str: s}
+	return memoized(Predicate{Attr: attr, Type: TypeString, Op: OpContains, Str: s})
 }
 
 // Validate reports whether the predicate is well formed.
@@ -268,8 +275,24 @@ func (p Predicate) Equal(q Predicate) bool {
 
 // Key returns a compact canonical encoding usable as a map key and as the
 // group identity in the overlay (two subscribers are similar iff their
-// predicates have equal keys — paper Def. 1).
+// predicates have equal keys — paper Def. 1). Constructors memoize the key
+// at build time, making Key a field read on the routing hot path;
+// predicates assembled without a constructor fall back to computing it.
 func (p Predicate) Key() string {
+	if p.key != "" {
+		return p.key
+	}
+	return p.computeKey()
+}
+
+// memoized returns p with its canonical key cached.
+func memoized(p Predicate) Predicate {
+	p.key = p.computeKey()
+	return p
+}
+
+// computeKey derives the canonical encoding from the predicate's fields.
+func (p Predicate) computeKey() string {
 	var b strings.Builder
 	b.Grow(len(p.Attr) + len(p.Str) + 24)
 	b.WriteString(p.Attr)

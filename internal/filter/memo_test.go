@@ -1,0 +1,159 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for key memoization: the cached key must be
+// indistinguishable from a fresh computation, survive value copies and
+// wire round-trips, and preserve the documented equivalence between key
+// equality and filter extension.
+
+// randIntFilter builds a canonical integer filter from 1–3 random bound
+// predicates over a tiny constant domain, so that distinct predicate sets
+// frequently canonicalise to the same filter.
+func randIntFilter(rng *rand.Rand) AttrFilter {
+	attr := string(rune('a' + rng.Intn(2)))
+	n := 1 + rng.Intn(3)
+	preds := make([]Predicate, 0, n)
+	for i := 0; i < n; i++ {
+		c := int64(rng.Intn(8))
+		switch rng.Intn(4) {
+		case 0:
+			preds = append(preds, Gt(attr, c))
+		case 1:
+			preds = append(preds, Lt(attr, c))
+		case 2:
+			preds = append(preds, Ge(attr, c))
+		default:
+			preds = append(preds, EqInt(attr, c))
+		}
+	}
+	f, err := NewAttrFilter(attr, preds)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// randStrFilter builds a canonical string filter from a small shared
+// predicate pool (the regime in which the Key docs promise the converse
+// direction of the equivalence).
+func randStrFilter(rng *rand.Rand) AttrFilter {
+	attr := "s"
+	pool := []Predicate{
+		Prefix(attr, "ab"), Prefix(attr, "abc"), Suffix(attr, "yz"),
+		Contains(attr, "m"), EqStr(attr, "abcmyz"), Any(attr),
+	}
+	n := 1 + rng.Intn(3)
+	preds := make([]Predicate, 0, n)
+	for i := 0; i < n; i++ {
+		preds = append(preds, pool[rng.Intn(len(pool))])
+	}
+	f, err := NewAttrFilter(attr, preds)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TestMemoizedKeyMatchesComputed asserts the cached key always equals a
+// fresh derivation from the canonical form, for predicates and filters.
+func TestMemoizedKeyMatchesComputed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		var f AttrFilter
+		if i%2 == 0 {
+			f = randIntFilter(rng)
+		} else {
+			f = randStrFilter(rng)
+		}
+		if f.Key() != f.computeKey() {
+			t.Fatalf("filter %v: memoized key %q != computed %q", f, f.Key(), f.computeKey())
+		}
+		for _, p := range f.Predicates() {
+			if p.Key() != p.computeKey() {
+				t.Fatalf("predicate %v: memoized key %q != computed %q", p, p.Key(), p.computeKey())
+			}
+		}
+	}
+}
+
+// TestMemoizedKeySurvivesCopies asserts that copying an AttrFilter value
+// (assignment, pass-by-value, slices, maps) carries the cached key along.
+func TestMemoizedKeySurvivesCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	byVal := func(f AttrFilter) string { return f.Key() }
+	for i := 0; i < 500; i++ {
+		f := randIntFilter(rng)
+		want := f.Key()
+		g := f
+		if g.Key() != want {
+			t.Fatalf("assigned copy lost key: %q != %q", g.Key(), want)
+		}
+		if byVal(f) != want {
+			t.Fatalf("pass-by-value copy lost key")
+		}
+		s := []AttrFilter{f}
+		if s[0].Key() != want {
+			t.Fatalf("slice element copy lost key")
+		}
+		m := map[int]AttrFilter{0: f}
+		if m[0].Key() != want {
+			t.Fatalf("map value copy lost key")
+		}
+	}
+}
+
+// TestMemoizedKeySurvivesWire asserts a binary round-trip (the gob path
+// cross-process transports use) reproduces the same canonical key even
+// though the cache itself never travels.
+func TestMemoizedKeySurvivesWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		var f AttrFilter
+		if i%2 == 0 {
+			f = randIntFilter(rng)
+		} else {
+			f = randStrFilter(rng)
+		}
+		data, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", f, err)
+		}
+		var g AttrFilter
+		if err := g.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", f, err)
+		}
+		if g.Key() != f.Key() {
+			t.Fatalf("wire round-trip changed key: %q -> %q", f.Key(), g.Key())
+		}
+		if g.Key() != g.computeKey() {
+			t.Fatalf("decoded filter %v: memoized key %q != computed %q", g, g.Key(), g.computeKey())
+		}
+	}
+}
+
+// TestKeyEquivalenceProperty asserts the group-identity contract after
+// memoization: equal keys always imply equal extension, and for integer
+// filters (and string filters drawn from a shared predicate pool) equal
+// extension implies equal keys.
+func TestKeyEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	check := func(f, g AttrFilter) {
+		t.Helper()
+		if f.Key() == g.Key() && !f.SameExtension(g) {
+			t.Fatalf("equal keys %q but different extension: %v vs %v", f.Key(), f, g)
+		}
+		if f.SameExtension(g) && f.Key() != g.Key() {
+			t.Fatalf("same extension but keys differ: %v (%q) vs %v (%q)", f, f.Key(), g, g.Key())
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		check(randIntFilter(rng), randIntFilter(rng))
+	}
+	for i := 0; i < 4000; i++ {
+		check(randStrFilter(rng), randStrFilter(rng))
+	}
+}

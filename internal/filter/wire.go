@@ -45,7 +45,7 @@ func (f *AttrFilter) UnmarshalBinary(data []byte) error {
 	case w.Universal:
 		*f = UniversalFilter(w.Attr)
 	case w.Empty:
-		*f = AttrFilter{attr: w.Attr, empty: true}
+		*f = emptyFilter(w.Attr)
 	case len(w.Preds) == 0:
 		*f = AttrFilter{} // zero filter travels as empty pred set
 		f.attr = w.Attr
