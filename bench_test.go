@@ -45,6 +45,41 @@ func BenchmarkTable1Protocol(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1ProtocolParallel runs the identical measurement to
+// BenchmarkTable1Protocol on the sharded parallel executor with one
+// worker per CPU. The two benchmarks produce bit-identical protocol
+// metrics; their ns/op ratio is the parallel engine's speedup on this
+// machine (≈1× on a single core, approaching the core count once steps
+// carry enough work — see docs/ARCHITECTURE.md).
+func BenchmarkTable1ProtocolParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(experiments.Table1Options{
+			Seed: int64(i + 1), Nodes: 250, Events: 150, UseProtocol: true,
+			Parallelism: -1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScale runs the 50k-node scale preset in miniature (2,000
+// nodes, parallel executor) and reports its throughput metric.
+func BenchmarkScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScale(experiments.ScaleOptions{
+			Seed: int64(i + 1), Nodes: 2000, SubsPerNode: 1,
+			Events: 40, EventEvery: 10, Parallelism: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.StepsPerSec, "steps/s")
+			b.ReportMetric(res.DeliveryRatio, "delivery-ratio")
+		}
+	}
+}
+
 // BenchmarkFig3a regenerates the dependability curve for two
 // representative configurations and two failure rates.
 func BenchmarkFig3a(b *testing.B) {

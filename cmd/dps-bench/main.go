@@ -6,6 +6,16 @@
 //	dps-bench -experiment table1
 //	dps-bench -experiment fig3a -scale 0.2
 //	dps-bench -experiment all -seed 7
+//	dps-bench -experiment scale -parallel -1
+//
+// -parallel fans the cycle engine out across a worker pool (-1 = one
+// worker per CPU, 1 = sequential, 0 = each experiment's default:
+// sequential everywhere except scale, which defaults to all cores);
+// every simulation's metrics are bit-identical to the sequential engine
+// for the same seed. The analysis experiment evaluates closed forms and
+// has no engine to parallelise. The scale experiment runs the full
+// protocol at 50k nodes (100k at -scale 2); it is far heavier than the
+// paper artefacts, so -experiment all skips it — select it explicitly.
 package main
 
 import (
@@ -25,9 +35,10 @@ func main() {
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, all")
-		scale = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
-		seed  = flag.Int64("seed", 1, "deterministic seed")
+			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, scale, all")
+		scale    = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 10 {
@@ -37,12 +48,15 @@ func run() int {
 	want := strings.ToLower(*experiment)
 	ran := false
 	for _, exp := range registry() {
-		if want != "all" && want != exp.name {
+		if want != exp.name && !(want == "all" && exp.name != "scale") {
+			// "all" covers the paper artefacts; the 50k-node scale run
+			// is orders of magnitude heavier and must be selected
+			// explicitly.
 			continue
 		}
 		ran = true
 		start := time.Now()
-		out, err := exp.run(*seed, *scale)
+		out, err := exp.run(*seed, *scale, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dps-bench: %s: %v\n", exp.name, err)
 			return 1
@@ -59,12 +73,12 @@ func run() int {
 
 type experimentEntry struct {
 	name string
-	run  func(seed int64, scale float64) (string, error)
+	run  func(seed int64, scale float64, parallel int) (string, error)
 }
 
 func registry() []experimentEntry {
 	return []experimentEntry{
-		{"table1", func(seed int64, scale float64) (string, error) {
+		{"table1", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultTable1Options()
 			opts.Seed = seed
 			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
@@ -75,10 +89,11 @@ func registry() []experimentEntry {
 			}
 			return res.Render(), nil
 		}},
-		{"table1-protocol", func(seed int64, scale float64) (string, error) {
+		{"table1-protocol", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultTable1Options()
 			opts.Seed = seed
 			opts.UseProtocol = true
+			opts.Parallelism = parallel
 			// The message-level run is far heavier than the oracle walk;
 			// default to a tenth of paper scale at scale 1.
 			opts.Nodes = scaleInt(opts.Nodes, scale*0.1, 50)
@@ -89,9 +104,10 @@ func registry() []experimentEntry {
 			}
 			return res.Render(), nil
 		}},
-		{"fig3a", func(seed int64, scale float64) (string, error) {
+		{"fig3a", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultFig3aOptions()
 			opts.Seed = seed
+			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 40)
 			opts.Steps = scaleInt(opts.Steps, scale, 400)
 			res, err := experiments.RunFig3a(opts)
@@ -100,9 +116,10 @@ func registry() []experimentEntry {
 			}
 			return res.Render(), nil
 		}},
-		{"fig3b", func(seed int64, scale float64) (string, error) {
+		{"fig3b", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultFig3bOptions()
 			opts.Seed = seed
+			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 40)
 			opts.Steps = scaleInt(opts.Steps, scale, 600)
 			opts.FailFrom = opts.Steps / 3
@@ -115,9 +132,10 @@ func registry() []experimentEntry {
 		}},
 		{"fig3c", runFig3cd}, {"fig3d", runFig3cd},
 		{"fig3e", runFig3ef}, {"fig3f", runFig3ef},
-		{"fig3g", func(seed int64, scale float64) (string, error) {
+		{"fig3g", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultFig3gOptions()
 			opts.Seed = seed
+			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 40)
 			opts.Steps = scaleInt(opts.Steps, scale, 300)
 			opts.SubEvery = scaleInt(opts.SubEvery, scale, 50)
@@ -128,9 +146,10 @@ func registry() []experimentEntry {
 			}
 			return res.Render(), nil
 		}},
-		{"latency", func(seed int64, scale float64) (string, error) {
+		{"latency", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultLatencyOptions()
 			opts.Seed = seed
+			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 60)
 			opts.Events = scaleInt(opts.Events, scale, 40)
 			res, err := experiments.RunLatency(opts)
@@ -139,9 +158,10 @@ func registry() []experimentEntry {
 			}
 			return res.Render(), nil
 		}},
-		{"ablations", func(seed int64, scale float64) (string, error) {
+		{"ablations", func(seed int64, scale float64, parallel int) (string, error) {
 			opts := experiments.DefaultAblationOptions()
 			opts.Seed = seed
+			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 60)
 			opts.Steps = scaleInt(opts.Steps, scale, 300)
 			res, err := experiments.RunAblations(opts)
@@ -150,8 +170,24 @@ func registry() []experimentEntry {
 			}
 			return res.Render(), nil
 		}},
-		{"analysis", func(seed int64, scale float64) (string, error) {
+		{"analysis", func(seed int64, scale float64, parallel int) (string, error) {
 			res, err := experiments.RunAnalysis(experiments.DefaultAnalysisOptions())
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
+		{"scale", func(seed int64, scale float64, parallel int) (string, error) {
+			opts := experiments.DefaultScaleOptions()
+			opts.Seed = seed
+			opts.Nodes = scaleInt(opts.Nodes, scale, 200)
+			opts.Events = scaleInt(opts.Events, scale, 20)
+			if parallel != 0 {
+				// 0 keeps the preset default (all cores); 1 forces the
+				// sequential executor.
+				opts.Parallelism = parallel
+			}
+			res, err := experiments.RunScale(opts)
 			if err != nil {
 				return "", err
 			}
@@ -160,9 +196,10 @@ func registry() []experimentEntry {
 	}
 }
 
-func runFig3cd(seed int64, scale float64) (string, error) {
+func runFig3cd(seed int64, scale float64, parallel int) (string, error) {
 	opts := experiments.DefaultFig3cdOptions()
 	opts.Seed = seed
+	opts.Parallelism = parallel
 	opts.Nodes = scaleInt(opts.Nodes, scale, 40)
 	opts.Steps = scaleInt(opts.Steps, scale, 500)
 	res, err := experiments.RunFig3cd(opts)
@@ -172,9 +209,10 @@ func runFig3cd(seed int64, scale float64) (string, error) {
 	return res.Render(), nil
 }
 
-func runFig3ef(seed int64, scale float64) (string, error) {
+func runFig3ef(seed int64, scale float64, parallel int) (string, error) {
 	opts := experiments.DefaultFig3efOptions()
 	opts.Seed = seed
+	opts.Parallelism = parallel
 	opts.Nodes = scaleInt(opts.Nodes, scale, 40)
 	opts.Steps = scaleInt(opts.Steps, scale, 300)
 	opts.SubEvery = scaleInt(opts.SubEvery, scale, 50)

@@ -4,7 +4,11 @@
 // fixed paper experiments.
 //
 //	dps-sim -nodes 500 -steps 2000 -traversal generic -comm epidemic \
-//	        -fanout 2 -workload game -failure 0.05
+//	        -fanout 2 -workload game -failure 0.05 -parallel -1
+//
+// -parallel fans the cycle engine out across a worker pool (-1 = one
+// worker per CPU); results are bit-identical to the sequential engine
+// for the same seed.
 package main
 
 import (
@@ -36,6 +40,7 @@ func run() int {
 		wl          = flag.String("workload", "game", "workload: stock | game | alerts")
 		failure     = flag.Float64("failure", 0, "node kills per step (0 disables churn)")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
+		parallel    = flag.Int("parallel", 1, "engine workers: 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
 	)
 	flag.Parse()
 
@@ -68,9 +73,10 @@ func run() int {
 		return 2
 	}
 
-	c := experiments.NewCluster(cfgSpec, *seed)
+	c := experiments.NewClusterParallel(cfgSpec, *seed, *parallel)
 	gen := workload.MustGenerator(spec, *seed)
-	fmt.Printf("building overlay: %d nodes × %d subscriptions (%s)\n", *nodes, *subs, spec.Name)
+	fmt.Printf("building overlay: %d nodes × %d subscriptions (%s, %d workers)\n",
+		*nodes, *subs, spec.Name, c.Engine.Workers())
 	c.SubscribePopulation(*nodes, *subs, 25, gen)
 	fmt.Printf("forest: %d trees, %d groups\n", c.Oracle.Trees(), c.Oracle.Groups())
 

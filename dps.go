@@ -58,18 +58,39 @@ type (
 	Subscription = filter.Subscription
 )
 
-// Predicate constructors, re-exported from the content model.
-func Gt(attr string, c int64) Predicate    { return filter.Gt(attr, c) }
-func Ge(attr string, c int64) Predicate    { return filter.Ge(attr, c) }
-func Lt(attr string, c int64) Predicate    { return filter.Lt(attr, c) }
-func Le(attr string, c int64) Predicate    { return filter.Le(attr, c) }
+// Gt builds the predicate attr > c over integer values.
+func Gt(attr string, c int64) Predicate { return filter.Gt(attr, c) }
+
+// Ge builds the predicate attr ≥ c over integer values.
+func Ge(attr string, c int64) Predicate { return filter.Ge(attr, c) }
+
+// Lt builds the predicate attr < c over integer values.
+func Lt(attr string, c int64) Predicate { return filter.Lt(attr, c) }
+
+// Le builds the predicate attr ≤ c over integer values.
+func Le(attr string, c int64) Predicate { return filter.Le(attr, c) }
+
+// EqInt builds the predicate attr = v over integer values.
 func EqInt(attr string, v int64) Predicate { return filter.EqInt(attr, v) }
-func EqStr(attr, s string) Predicate       { return filter.EqStr(attr, s) }
-func HasPrefix(attr, s string) Predicate   { return filter.Prefix(attr, s) }
-func HasSuffix(attr, s string) Predicate   { return filter.Suffix(attr, s) }
+
+// EqStr builds the predicate attr = s over string values.
+func EqStr(attr, s string) Predicate { return filter.EqStr(attr, s) }
+
+// HasPrefix builds the predicate "attr starts with s" (the paper's
+// prefix operator on strings, written s* in the subscription syntax).
+func HasPrefix(attr, s string) Predicate { return filter.Prefix(attr, s) }
+
+// HasSuffix builds the predicate "attr ends with s" (written *s).
+func HasSuffix(attr, s string) Predicate { return filter.Suffix(attr, s) }
+
+// ContainsStr builds the predicate "attr contains s" (written *s*).
 func ContainsStr(attr, s string) Predicate { return filter.Contains(attr, s) }
-func IntValue(v int64) Value               { return filter.IntValue(v) }
-func StringValue(s string) Value           { return filter.StringValue(s) }
+
+// IntValue wraps an integer as a typed event value.
+func IntValue(v int64) Value { return filter.IntValue(v) }
+
+// StringValue wraps a string as a typed event value.
+func StringValue(s string) Value { return filter.StringValue(s) }
 
 // NewSubscription validates and builds a subscription from predicates.
 func NewSubscription(preds ...Predicate) (Subscription, error) {

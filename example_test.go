@@ -1,0 +1,66 @@
+package dps_test
+
+import (
+	"fmt"
+	"time"
+
+	dps "github.com/dps-overlay/dps"
+)
+
+// ExampleParseSubscription shows the subscription syntax: a conjunction
+// of predicates over integer and string attributes, matched against
+// events attribute by attribute.
+func ExampleParseSubscription() {
+	sub, err := dps.ParseSubscription("price>100 && price<200 && sym=acme*")
+	if err != nil {
+		panic(err)
+	}
+	hit, _ := dps.ParseEvent("price=150, sym=acmecorp")
+	miss, _ := dps.ParseEvent("price=250, sym=acmecorp")
+	fmt.Println(sub.Matches(hit))
+	fmt.Println(sub.Matches(miss))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleNetwork is the end-to-end subscribe/publish loop on the live
+// goroutine runtime: two peers, one subscription, one matching event.
+func ExampleNetwork() {
+	net, err := dps.NewNetwork(dps.Options{TickEvery: time.Millisecond, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+
+	alice, _ := net.AddPeer()
+	bob, _ := net.AddPeer()
+
+	got := make(chan dps.Event, 1)
+	sub, _ := dps.ParseSubscription("price>100")
+	if err := alice.Subscribe(sub, func(ev dps.Event) {
+		select {
+		case got <- ev:
+		default:
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	// The overlay self-organises asynchronously; publish until the event
+	// arrives (subscriptions settle within a few ticks).
+	ev, _ := dps.ParseEvent("price=150")
+	for {
+		if err := bob.Publish(ev); err != nil {
+			panic(err)
+		}
+		select {
+		case delivered := <-got:
+			fmt.Println("alice got", delivered)
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	// Output:
+	// alice got price=150
+}

@@ -37,6 +37,10 @@ type AblationOptions struct {
 	Seed  int64
 	Nodes int
 	Steps int
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultAblationOptions returns a laptop-scale setting.
@@ -105,7 +109,7 @@ func ablateGossipRounds(opts AblationOptions) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, rounds := range []int{1, 3} {
 		spec := ConfigSpec{Name: "epidemic", Traversal: core.RootBased, Comm: core.Epidemic}
-		c := NewCluster(spec, opts.Seed)
+		c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 		r := rounds
 		c.MutateConfig = func(cfg *core.Config) { cfg.GossipRounds = r }
 		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
@@ -134,7 +138,7 @@ func ablateViewDepth(opts AblationOptions) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, k := range []int{1, 3} {
 		spec := ConfigSpec{Name: "leader", Traversal: core.Generic, Comm: core.LeaderBased}
-		c := NewCluster(spec, opts.Seed)
+		c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 		kk := k
 		c.MutateConfig = func(cfg *core.Config) { cfg.K = kk }
 		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/filter"
@@ -61,26 +62,30 @@ func PaperConfigs() []ConfigSpec {
 // mode only leaders monitor regular members) and generic publications
 // enter the tree through corpses.
 type liveDirectory struct {
-	*core.SharedDirectory
+	core.Directory
 	alive func(sim.NodeID) bool
 }
 
 // Contact retries the registry draw a bounded number of times until it
 // finds a live entry point, mimicking a random walk over live nodes.
+// Observed corpses are reported to the directory; under the stepped
+// directory the drop commits at the end of the step, so a dead entry can
+// linger for the retries of one step — exactly one walk's worth of wasted
+// hops, as in the paper's model. A walk that saw only corpses reports no
+// entry point at all (the caller's retry machinery fires later), never a
+// node it just proved dead.
 func (d liveDirectory) Contact(attr string, rng *rand.Rand) (sim.NodeID, bool) {
-	var last sim.NodeID
-	var ok bool
 	for i := 0; i < 16; i++ {
-		last, ok = d.SharedDirectory.Contact(attr, rng)
+		last, ok := d.Directory.Contact(attr, rng)
 		if !ok {
 			return 0, false
 		}
 		if d.alive(last) {
 			return last, true
 		}
-		d.SharedDirectory.DropContact(attr, last)
+		d.Directory.DropContact(attr, last)
 	}
-	return last, ok
+	return 0, false
 }
 
 // Owner resolves dead owners to a live co-owner claim where possible by
@@ -93,29 +98,34 @@ var _ core.Directory = liveDirectory{}
 // delivery tracker.
 type Cluster struct {
 	Engine   *sim.Engine
-	Dir      *core.SharedDirectory
+	Dir      *core.SteppedDirectory
 	Nodes    map[sim.NodeID]*core.Node
 	Registry *metrics.Registry
 	Tracker  *metrics.DeliveryTracker
 	Oracle   *semtree.Forest
 
-	// Contacted/Delivered per event (Table 1 protocol mode).
+	// Contacted/Delivered per event (Table 1 protocol mode). Guarded by
+	// mu: the hook that fills it runs on engine workers in parallel mode.
 	Contacted map[core.EventID]map[sim.NodeID]bool
 
 	// MutateConfig, when set, adjusts every new node's configuration after
 	// the ConfigSpec applies (ablation studies).
 	MutateConfig func(*core.Config)
 
+	mu        sync.Mutex
 	spec      ConfigSpec
 	seed      int64
 	nextID    sim.NodeID
 	NextEvent core.EventID
 }
 
-// NewCluster builds an empty cluster for the given configuration.
+// NewCluster builds an empty cluster for the given configuration on the
+// sequential executor. Use SetParallelism (or NewClusterParallel) to fan
+// the engine out over a worker pool — metrics are bit-identical either
+// way.
 func NewCluster(spec ConfigSpec, seed int64) *Cluster {
 	c := &Cluster{
-		Dir:       core.NewSharedDirectory(),
+		Dir:       core.NewSteppedDirectory(),
 		Nodes:     make(map[sim.NodeID]*core.Node),
 		Registry:  metrics.NewRegistry(),
 		Tracker:   metrics.NewDeliveryTracker(),
@@ -133,15 +143,31 @@ func NewCluster(spec ConfigSpec, seed int64) *Cluster {
 			c.Registry.Received(int64(to), metrics.KindOf(msg))
 		},
 	})
+	// The stepped directory must learn step boundaries: its snapshot
+	// semantics are what keeps node processing order-independent within a
+	// step, for the sequential and the parallel executor alike.
+	c.Engine.AddService(c.Dir)
 	return c
 }
+
+// NewClusterParallel builds a cluster whose engine runs the sharded
+// parallel executor with the given worker count (see sim.Config.Workers).
+func NewClusterParallel(spec ConfigSpec, seed int64, workers int) *Cluster {
+	c := NewCluster(spec, seed)
+	c.SetParallelism(workers)
+	return c
+}
+
+// SetParallelism adjusts the engine's worker count between steps: 0 or 1
+// sequential, W > 1 parallel on W workers, negative one worker per CPU.
+func (c *Cluster) SetParallelism(workers int) { c.Engine.SetWorkers(workers) }
 
 // AddNode spawns one node and returns its id.
 func (c *Cluster) AddNode() sim.NodeID {
 	c.nextID++
 	id := c.nextID
 	cfg := core.DefaultConfig()
-	cfg.Directory = liveDirectory{SharedDirectory: c.Dir, alive: c.Engine.Alive}
+	cfg.Directory = liveDirectory{Directory: c.Dir, alive: c.Engine.Alive}
 	c.spec.apply(&cfg)
 	if c.MutateConfig != nil {
 		c.MutateConfig(&cfg)
@@ -151,12 +177,14 @@ func (c *Cluster) AddNode() sim.NodeID {
 		panic(fmt.Sprintf("experiments: NewNode: %v", err)) // static config
 	}
 	node.OnEventHook(func(ev core.EventID, _ filter.Event) {
+		c.mu.Lock()
 		set := c.Contacted[ev]
 		if set == nil {
 			set = make(map[sim.NodeID]bool)
 			c.Contacted[ev] = set
 		}
 		set[id] = true
+		c.mu.Unlock()
 	})
 	node.OnDeliverHook(func(ev core.EventID, _ filter.Event) {
 		c.Tracker.DeliverAt(metrics.EventID(ev), int64(id), c.Engine.Now())

@@ -23,6 +23,10 @@ type Fig3aOptions struct {
 	FailureProbs []float64
 	Configs      []ConfigSpec
 	SettleTail   int
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultFig3aOptions returns the paper-scale parameters.
@@ -75,7 +79,7 @@ func RunFig3a(opts Fig3aOptions) (*Fig3aResult, error) {
 }
 
 func runDependabilityScenario(spec ConfigSpec, opts Fig3aOptions, p float64) (ratio, survivors float64) {
-	c := NewCluster(spec, opts.Seed)
+	c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 	gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
 	c.SubscribePopulation(opts.Nodes, opts.SubsPerNode, 25, gen)
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0xf19a))
@@ -145,6 +149,10 @@ type Fig3bOptions struct {
 	KillEvery   int
 	Window      int
 	Configs     []ConfigSpec
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultFig3bOptions returns the paper-scale parameters.
@@ -187,7 +195,7 @@ func RunFig3b(opts Fig3bOptions) (*Fig3bResult, error) {
 	}
 	res := &Fig3bResult{Opts: opts}
 	for _, spec := range opts.Configs {
-		c := NewCluster(spec, opts.Seed)
+		c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
 		c.SubscribePopulation(opts.Nodes, opts.SubsPerNode, 25, gen)
 		rng := rand.New(rand.NewSource(opts.Seed ^ 0x3b))

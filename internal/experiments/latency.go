@@ -23,6 +23,10 @@ type LatencyOptions struct {
 	SubsPerNode int
 	Events      int
 	Configs     []ConfigSpec
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultLatencyOptions compares root vs generic traversal under leader
@@ -63,7 +67,7 @@ func RunLatency(opts LatencyOptions) (*LatencyResult, error) {
 	}
 	res := &LatencyResult{Opts: opts}
 	for _, spec := range opts.Configs {
-		c := NewCluster(spec, opts.Seed)
+		c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
 		c.SubscribePopulation(opts.Nodes, opts.SubsPerNode, 25, gen)
 		rng := rand.New(rand.NewSource(opts.Seed ^ 0x1a7))

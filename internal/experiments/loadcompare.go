@@ -26,6 +26,10 @@ type LoadOptions struct {
 	EventEvery int
 	Window     int
 	Configs    []ConfigSpec
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultFig3efOptions returns the paper-scale parameters for the
@@ -87,7 +91,7 @@ func RunLoadComparison(title string, opts LoadOptions) (*LoadResult, error) {
 	}
 	res := &LoadResult{Title: title, Opts: opts}
 	for _, spec := range opts.Configs {
-		c := NewCluster(spec, opts.Seed)
+		c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
 		// Nodes join with no subscriptions; they accumulate them during
 		// the run.

@@ -23,6 +23,10 @@ type Fig3cdOptions struct {
 	EventEvery int
 	Window     int
 	Configs    []ConfigSpec
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultFig3cdOptions returns the paper-scale parameters.
@@ -69,7 +73,7 @@ func RunFig3cd(opts Fig3cdOptions) (*Fig3cdResult, error) {
 	}
 	res := &Fig3cdResult{Opts: opts}
 	for _, spec := range opts.Configs {
-		c := NewCluster(spec, opts.Seed)
+		c := NewClusterParallel(spec, opts.Seed, opts.Parallelism)
 		gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
 		c.SubscribePopulation(opts.Nodes, 1, 25, gen)
 		rng := rand.New(rand.NewSource(opts.Seed ^ 0xc0de))

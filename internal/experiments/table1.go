@@ -26,6 +26,10 @@ type Table1Options struct {
 	// core test suite asserts — but the oracle is orders of magnitude
 	// faster at paper scale.
 	UseProtocol bool
+	// Parallelism is the engine worker count: 0/1 sequential, W > 1
+	// parallel on W workers, negative one worker per CPU. Metrics are
+	// bit-identical across worker counts for a given seed.
+	Parallelism int
 }
 
 // DefaultTable1Options returns the paper-scale parameters.
@@ -100,11 +104,11 @@ func table1Oracle(name string, gen *workload.Generator, opts Table1Options) (Tab
 // table1Protocol runs the same measurement through the full DPS protocol
 // on the cycle engine.
 func table1Protocol(name string, gen *workload.Generator, opts Table1Options) (Table1Row, error) {
-	c := NewCluster(ConfigSpec{
+	c := NewClusterParallel(ConfigSpec{
 		Name:      "leader root",
 		Traversal: core.RootBased,
 		Comm:      core.LeaderBased,
-	}, opts.Seed)
+	}, opts.Seed, opts.Parallelism)
 	c.SubscribePopulation(opts.Nodes, 1, 50, gen)
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x7a17))
 	events := make([]core.EventID, 0, opts.Events)

@@ -1,0 +1,55 @@
+package filter_test
+
+import (
+	"fmt"
+
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+// ExampleParseSubscription parses the paper's subscription syntax — a
+// conjunction of predicates — and matches it against an event. Attribute
+// filters canonicalise on construction: the redundant price>100 collapses
+// into price>150 in the per-attribute filter that labels the node's group.
+func ExampleParseSubscription() {
+	sub, err := filter.ParseSubscription("price>100 && price>150 && sym=acme*")
+	if err != nil {
+		panic(err)
+	}
+	ev, _ := filter.ParseEvent("price=200, sym=acmecorp, extra=1")
+	fmt.Println(sub.Matches(ev))
+
+	filters, _ := filter.SubscriptionFilters(sub)
+	fmt.Println(filters[0])
+	// Output:
+	// true
+	// price>150
+}
+
+// ExampleAttrFilter_Includes demonstrates the inclusion relation that
+// orders groups within a tree (paper §2): a filter includes another when
+// every value the second accepts is accepted by the first.
+func ExampleAttrFilter_Includes() {
+	broad := filter.MustAttrFilter("price", filter.Gt("price", 100))
+	narrow := filter.MustAttrFilter("price", filter.Gt("price", 100), filter.Lt("price", 200))
+	fmt.Println(broad.Includes(narrow))
+	fmt.Println(narrow.Includes(broad))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleSubscriptionFilters splits a multi-attribute subscription into
+// its per-attribute filters — one tree membership per attribute.
+func ExampleSubscriptionFilters() {
+	sub, _ := filter.ParseSubscription("price>100 && sym=acme*")
+	filters, err := filter.SubscriptionFilters(sub)
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range filters {
+		fmt.Printf("%s: %s\n", f.Attr(), f)
+	}
+	// Output:
+	// price: price>100
+	// sym: sym="acme"*
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// chatterProc is a deliberately talkative protocol: every tick it draws
+// from its private stream, records the draw, and sends to a few derived
+// targets; every message is recorded and echoed onward with shrinking TTL.
+// The per-node records plus the engine-hook sequences form a full trace.
+type chatterProc struct {
+	env   Env
+	n     NodeID // population size, for target arithmetic
+	trace []string
+}
+
+type chatterMsg struct {
+	Payload int64
+	TTL     int
+}
+
+func (p *chatterProc) Attach(env Env) { p.env = env }
+
+func (p *chatterProc) OnMessage(from NodeID, msg any) {
+	m := msg.(chatterMsg)
+	p.trace = append(p.trace, fmt.Sprintf("m:%d:%d:%d", from, m.Payload, m.TTL))
+	if m.TTL > 0 {
+		p.env.Send(1+(NodeID(m.Payload)+p.env.ID())%p.n, chatterMsg{Payload: m.Payload + 1, TTL: m.TTL - 1})
+	}
+}
+
+func (p *chatterProc) OnTick() {
+	v := p.env.Rand().Int63n(1000)
+	p.trace = append(p.trace, fmt.Sprintf("t:%d:%d", p.env.Now(), v))
+	for k := int64(0); k < 1+v%3; k++ {
+		p.env.Send(1+(p.env.ID()+NodeID(v)+NodeID(k))%p.n, chatterMsg{Payload: v, TTL: int(v % 4)})
+	}
+}
+
+// runChatter executes the scenario on the given worker count and returns
+// the full trace: per-node event sequences plus the coordinator-observed
+// per-hook sequences. Sends, deliveries and drops are collected as
+// separate streams: each stream's order is part of the determinism
+// contract, but the interleaving *between* hook kinds is not — the
+// parallel executor fires deliver/drop hooks in its pre-pass and send
+// hooks at merge time, while the sequential executor interleaves them.
+func runChatter(t *testing.T, workers int, nodes NodeID, steps int, loss float64, kills []NodeID) []string {
+	t.Helper()
+	var sends, delivers, drops []string
+	e := NewEngine(Config{
+		Seed:     99,
+		Workers:  workers,
+		LossRate: loss,
+		OnSend: func(from, to NodeID, msg any) {
+			sends = append(sends, fmt.Sprintf("s:%d>%d:%v", from, to, msg))
+		},
+		OnDeliver: func(from, to NodeID, msg any) {
+			delivers = append(delivers, fmt.Sprintf("d:%d>%d:%v", from, to, msg))
+		},
+		OnDrop: func(from, to NodeID, msg any) {
+			drops = append(drops, fmt.Sprintf("x:%d>%d:%v", from, to, msg))
+		},
+	})
+	procs := make([]*chatterProc, nodes+1)
+	for id := NodeID(1); id <= nodes; id++ {
+		procs[id] = &chatterProc{n: nodes}
+		if err := e.Add(id, procs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	half := steps / 2
+	e.Run(half)
+	for _, id := range kills {
+		e.Kill(id)
+	}
+	e.Run(steps - half)
+
+	out := append(append(sends, delivers...), drops...)
+	for id := NodeID(1); id <= nodes; id++ {
+		for _, ev := range procs[id].trace {
+			out = append(out, fmt.Sprintf("%d|%s", id, ev))
+		}
+	}
+	return out
+}
+
+// workerCounts are the executor widths every equivalence test compares:
+// sequential, two, four, and one per CPU.
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestParallelTraceEquivalence is the determinism contract of the
+// parallel executor: for one seed, every worker count must produce the
+// byte-identical trace the sequential executor produces — per-node
+// delivery/tick sequences, private random draws, and the engine hook
+// sequences included.
+func TestParallelTraceEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		loss  float64
+		kills []NodeID
+	}{
+		{name: "clean", loss: 0},
+		{name: "lossy", loss: 0.2},
+		{name: "churn", loss: 0.05, kills: []NodeID{3, 7, 11}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			want := runChatter(t, 1, 16, 40, sc.loss, sc.kills)
+			for _, w := range workerCounts()[1:] {
+				got := runChatter(t, w, 16, 40, sc.loss, sc.kills)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: trace length %d, sequential %d", w, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: trace diverges at %d:\n  seq: %s\n  par: %s",
+							w, i, want[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLatencyConfig checks that hop latency is honoured by the
+// parallel executor (messages buffered mid-step land at step+Latency).
+func TestParallelLatencyConfig(t *testing.T) {
+	e := NewEngine(Config{Seed: 1, Latency: 3, Workers: 4})
+	a, b := &echoProc{}, &echoProc{}
+	_ = e.Add(1, a)
+	_ = e.Add(2, b)
+	a.onTick = func(p *echoProc) {
+		if p.env.Now() == 1 {
+			p.env.Send(2, "x")
+		}
+	}
+	e.Run(3) // sent at step 1, due at step 4
+	if len(b.received) != 0 {
+		t.Fatal("delivered too early under parallel executor")
+	}
+	e.Step()
+	if len(b.received) != 1 {
+		t.Fatal("not delivered at latency horizon under parallel executor")
+	}
+}
+
+// TestServicesSeeStepBoundaries checks the Service lifecycle: BeginStep
+// before any processing, EndStep after the last tick, on both executors.
+type probeService struct {
+	log *[]string
+}
+
+func (s probeService) BeginStep(step int64) { *s.log = append(*s.log, fmt.Sprintf("begin:%d", step)) }
+func (s probeService) EndStep(step int64)   { *s.log = append(*s.log, fmt.Sprintf("end:%d", step)) }
+
+func TestServicesSeeStepBoundaries(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var log []string
+		e := NewEngine(Config{Seed: 1, Workers: workers})
+		e.AddService(probeService{log: &log})
+		p := &echoProc{}
+		p.onTick = func(*echoProc) { log = append(log, "tick") }
+		_ = e.Add(1, p)
+		e.Run(2)
+		want := []string{"begin:1", "tick", "end:1", "begin:2", "tick", "end:2"}
+		if len(log) != len(want) {
+			t.Fatalf("workers=%d: log = %v", workers, log)
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("workers=%d: log = %v, want %v", workers, log, want)
+			}
+		}
+	}
+}
+
+// TestNegativeWorkersUsesCPUs pins the -parallel=-1 convention.
+func TestNegativeWorkersUsesCPUs(t *testing.T) {
+	e := NewEngine(Config{Seed: 1, Workers: -1})
+	if got := e.Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	e.SetWorkers(6)
+	if got := e.Workers(); got != 6 {
+		t.Fatalf("Workers() = %d after SetWorkers(6)", got)
+	}
+	e.SetWorkers(0)
+	if got := e.Workers(); got != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0), want 1", got)
+	}
+}

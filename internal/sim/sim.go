@@ -16,6 +16,21 @@
 // step, message queues preserve send order, each node owns a private
 // rand.Rand stream derived from the engine seed, and the engine never
 // consults wall-clock time.
+//
+// # Parallel execution
+//
+// Setting Config.Workers above one activates the sharded parallel step
+// executor (see parallel.go): nodes are partitioned across a worker pool
+// by NodeID, each worker processes its shard's deliveries and ticks, and
+// outbound messages are buffered per processing unit and merged back into
+// the global queue in the exact order the sequential executor would have
+// produced. Loss decisions and engine hooks stay on the coordinator and
+// consume the same random stream as the sequential path, so a given seed
+// yields bit-identical traces at every worker count — the property
+// TestParallelTraceEquivalence pins. Shared services that nodes touch
+// during a step (e.g. the core Directory) participate through the Service
+// interface so their state observes the same step-snapshot semantics
+// under any interleaving.
 package sim
 
 import (
@@ -67,6 +82,11 @@ type Config struct {
 	Latency int64
 	// LossRate is the probability that any message is dropped in flight.
 	LossRate float64
+	// Workers selects the step executor: 0 or 1 runs the sequential
+	// executor; W > 1 runs the sharded parallel executor on W goroutines;
+	// a negative value uses one worker per CPU. Traces are bit-identical
+	// across worker counts for a given seed.
+	Workers int
 	// OnSend, if set, observes every accepted send.
 	OnSend func(from, to NodeID, msg any)
 	// OnDeliver, if set, observes every delivery to a live node.
@@ -87,16 +107,35 @@ type slot struct {
 	alive bool
 }
 
+// Service is a shared component that participates in the engine's step
+// lifecycle. Engines call BeginStep before any node processes and EndStep
+// after the last tick of the step. Deployments register services whose
+// state protocol nodes read and write mid-step (e.g. the attribute
+// directory): by snapshotting reads at BeginStep and committing writes
+// deterministically at EndStep, a service stays execution-order
+// independent, which the parallel executor requires for bit-identical
+// traces.
+type Service interface {
+	// BeginStep announces that node processing for the given step starts.
+	BeginStep(step int64)
+	// EndStep announces that node processing for the given step finished.
+	EndStep(step int64)
+}
+
 // Engine is the cycle-based simulator.
 type Engine struct {
-	cfg   Config
-	step  int64
-	slots map[NodeID]*slot
-	order []NodeID // ascending; includes dead nodes (skipped)
-	dirty bool     // order needs re-sorting
-	queue map[int64][]envelope
-	rng   *rand.Rand
-	alive int
+	cfg      Config
+	step     int64
+	slots    map[NodeID]*slot
+	order    []NodeID // ascending; includes dead nodes (skipped)
+	dirty    bool     // order needs re-sorting
+	queue    map[int64][]envelope
+	rng      *rand.Rand
+	alive    int
+	services []Service
+
+	// Parallel-executor scratch, reused across steps (see parallel.go).
+	par *parScratch
 }
 
 // NewEngine returns an engine with no nodes at step 0.
@@ -114,6 +153,18 @@ func NewEngine(cfg Config) *Engine {
 
 // Now returns the current step.
 func (e *Engine) Now() int64 { return e.step }
+
+// AddService registers a step-lifecycle participant. Services are
+// notified in registration order at the start and end of every step.
+func (e *Engine) AddService(s Service) { e.services = append(e.services, s) }
+
+// SetWorkers adjusts the executor after construction: 0 or 1 selects the
+// sequential path, W > 1 the parallel path with W workers, negative one
+// worker per CPU. Safe to call between steps only.
+func (e *Engine) SetWorkers(w int) { e.cfg.Workers = w }
+
+// Workers reports the resolved worker count the next Step will use.
+func (e *Engine) Workers() int { return e.resolveWorkers() }
 
 // Add attaches a process under the given id. Adding a duplicate id is a
 // programming error and returns one.
@@ -182,31 +233,63 @@ func (e *Engine) Env(id NodeID) Env {
 }
 
 // Step advances the simulation one cycle: deliver everything scheduled for
-// the new step, then tick every live node in id order.
+// the new step, then tick every live node in id order. With Workers > 1
+// the processing fans out across the worker pool (see parallel.go) while
+// preserving the sequential executor's trace bit-for-bit.
 func (e *Engine) Step() {
 	e.step++
+	for _, s := range e.services {
+		s.BeginStep(e.step)
+	}
 	batch := e.queue[e.step]
 	delete(e.queue, e.step)
-	for _, env := range batch {
-		s, ok := e.slots[env.to]
-		if !ok || !s.alive {
-			if e.cfg.OnDrop != nil {
-				e.cfg.OnDrop(env.from, env.to, env.msg)
-			}
-			continue
-		}
-		if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
-			if e.cfg.OnDrop != nil {
-				e.cfg.OnDrop(env.from, env.to, env.msg)
-			}
-			continue
-		}
-		if e.cfg.OnDeliver != nil {
-			e.cfg.OnDeliver(env.from, env.to, env.msg)
-		}
-		s.proc.OnMessage(env.from, env.msg)
-	}
 	e.sortOrder()
+	if w := e.resolveWorkers(); w > 1 {
+		e.stepParallel(batch, w)
+	} else {
+		e.stepSequential(batch)
+	}
+	for _, s := range e.services {
+		s.EndStep(e.step)
+	}
+}
+
+// accept applies the per-envelope delivery gate shared by both
+// executors: dead recipients drop, then the loss draw (the engine
+// stream's only mid-step consumption — draw order is part of the
+// determinism contract), then the OnDeliver hook. It returns the
+// recipient's slot when the message should be handed to the node.
+// Both executors must route every envelope through this single helper,
+// or their e.rng consumption and drop decisions drift apart and the
+// bit-identical-trace contract breaks.
+func (e *Engine) accept(env envelope) (*slot, bool) {
+	s, ok := e.slots[env.to]
+	if !ok || !s.alive {
+		if e.cfg.OnDrop != nil {
+			e.cfg.OnDrop(env.from, env.to, env.msg)
+		}
+		return nil, false
+	}
+	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
+		if e.cfg.OnDrop != nil {
+			e.cfg.OnDrop(env.from, env.to, env.msg)
+		}
+		return nil, false
+	}
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(env.from, env.to, env.msg)
+	}
+	return s, true
+}
+
+// stepSequential is the single-threaded executor: deliveries in batch
+// order, then ticks in ascending NodeID order.
+func (e *Engine) stepSequential(batch []envelope) {
+	for _, env := range batch {
+		if s, ok := e.accept(env); ok {
+			s.proc.OnMessage(env.from, env.msg)
+		}
+	}
 	for _, id := range e.order {
 		if s := e.slots[id]; s.alive {
 			s.proc.OnTick()
@@ -245,11 +328,32 @@ type nodeEnv struct {
 	engine *Engine
 	id     NodeID
 	rng    *rand.Rand
+	// sink, when non-nil, redirects sends into the parallel executor's
+	// per-unit buffer instead of the global queue. It is set by the worker
+	// that owns this node immediately before invoking the node's handler
+	// and cleared right after, so only one goroutine ever touches it.
+	sink *[]envelope
 }
 
 var _ Env = (*nodeEnv)(nil)
 
-func (n *nodeEnv) ID() NodeID            { return n.id }
-func (n *nodeEnv) Now() int64            { return n.engine.step }
-func (n *nodeEnv) Rand() *rand.Rand      { return n.rng }
-func (n *nodeEnv) Send(to NodeID, m any) { n.engine.send(n.id, to, m) }
+// ID implements Env.
+func (n *nodeEnv) ID() NodeID { return n.id }
+
+// Now implements Env.
+func (n *nodeEnv) Now() int64 { return n.engine.step }
+
+// Rand implements Env.
+func (n *nodeEnv) Rand() *rand.Rand { return n.rng }
+
+// Send implements Env.
+func (n *nodeEnv) Send(to NodeID, m any) {
+	if n.sink != nil {
+		// Mid-step under the parallel executor: the sender is live by
+		// construction (dead nodes are never processed), and the OnSend
+		// hook fires at merge time on the coordinator.
+		*n.sink = append(*n.sink, envelope{from: n.id, to: to, msg: m})
+		return
+	}
+	n.engine.send(n.id, to, m)
+}

@@ -111,7 +111,7 @@ func Workload2() Spec {
 // set of critical values, 20% ranges, 20% equalities; every subscription
 // constrains all three attributes.
 func Workload3() Spec {
-	// Calibration (see EXPERIMENTS.md): a flatter zipf (1.06) plus a small
+	// Calibration: a flatter zipf (1.06) plus a small
 	// threshold offset — alert subscriptions watch values just above the
 	// bulk of normal traffic — lands the per-attribute filter-match rate
 	// at ≈16% (the paper's 17.15% "Contacted") and the full three-way
