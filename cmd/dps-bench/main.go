@@ -7,6 +7,12 @@
 //	dps-bench -experiment fig3a -scale 0.2
 //	dps-bench -experiment all -seed 7
 //	dps-bench -experiment scale -parallel -1
+//	dps-bench -experiment analysis -json
+//
+// -json replaces the rendered tables with one machine-readable JSON
+// document (run parameters, per-experiment wall-clock, full result
+// structs) for the BENCH_*.json performance trajectory and the CI
+// benchmark smoke.
 //
 // -parallel fans the cycle engine out across a worker pool (-1 = one
 // worker per CPU, 1 = sequential, 0 = each experiment's default:
@@ -19,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +46,7 @@ func run() int {
 		scale    = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON (one document with every selected experiment) instead of tables")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 10 {
@@ -47,6 +55,7 @@ func run() int {
 	}
 	want := strings.ToLower(*experiment)
 	ran := false
+	report := benchReport{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	for _, exp := range registry() {
 		if want != exp.name && !(want == "all" && exp.name != "scale") {
 			// "all" covers the paper artefacts; the 50k-node scale run
@@ -56,40 +65,86 @@ func run() int {
 		}
 		ran = true
 		start := time.Now()
-		out, err := exp.run(*seed, *scale, *parallel)
+		res, err := exp.run(*seed, *scale, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dps-bench: %s: %v\n", exp.name, err)
 			return 1
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s took %v]\n\n", exp.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *asJSON {
+			report.Experiments = append(report.Experiments, newBenchRecord(exp.name, elapsed, res))
+			continue
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s took %v]\n\n", exp.name, elapsed.Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "dps-bench: unknown experiment %q\n", want)
 		return 2
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "dps-bench:", err)
+			return 1
+		}
+	}
 	return 0
 }
 
+// benchReport is the -json document: run parameters plus one record per
+// selected experiment, consumable by the BENCH_*.json perf trajectory.
+type benchReport struct {
+	Seed        int64         `json:"seed"`
+	Scale       float64       `json:"scale"`
+	Parallel    int           `json:"parallel"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
+type benchRecord struct {
+	Experiment string          `json:"experiment"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+	Result     json.RawMessage `json:"result"`
+}
+
+// newBenchRecord marshals one experiment result, falling back to the
+// rendered table when a result type resists JSON.
+func newBenchRecord(name string, elapsed time.Duration, res renderable) benchRecord {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		raw, _ = json.Marshal(map[string]string{"render": res.Render()})
+	}
+	return benchRecord{
+		Experiment: name,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Result:     raw,
+	}
+}
+
+// renderable is the contract every experiment result satisfies: a table
+// for humans (Render) plus exported fields for -json.
+type renderable interface{ Render() string }
+
 type experimentEntry struct {
 	name string
-	run  func(seed int64, scale float64, parallel int) (string, error)
+	run  func(seed int64, scale float64, parallel int) (renderable, error)
 }
 
 func registry() []experimentEntry {
 	return []experimentEntry{
-		{"table1", func(seed int64, scale float64, parallel int) (string, error) {
+		{"table1", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultTable1Options()
 			opts.Seed = seed
 			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
 			opts.Events = scaleInt(opts.Events, scale, 50)
 			res, err := experiments.RunTable1(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"table1-protocol", func(seed int64, scale float64, parallel int) (string, error) {
+		{"table1-protocol", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultTable1Options()
 			opts.Seed = seed
 			opts.UseProtocol = true
@@ -100,11 +155,11 @@ func registry() []experimentEntry {
 			opts.Events = scaleInt(opts.Events, scale*0.1, 50)
 			res, err := experiments.RunTable1(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"fig3a", func(seed int64, scale float64, parallel int) (string, error) {
+		{"fig3a", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultFig3aOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -112,11 +167,11 @@ func registry() []experimentEntry {
 			opts.Steps = scaleInt(opts.Steps, scale, 400)
 			res, err := experiments.RunFig3a(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"fig3b", func(seed int64, scale float64, parallel int) (string, error) {
+		{"fig3b", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultFig3bOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -126,13 +181,13 @@ func registry() []experimentEntry {
 			opts.FailTo = 2 * opts.Steps / 3
 			res, err := experiments.RunFig3b(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
 		{"fig3c", runFig3cd}, {"fig3d", runFig3cd},
 		{"fig3e", runFig3ef}, {"fig3f", runFig3ef},
-		{"fig3g", func(seed int64, scale float64, parallel int) (string, error) {
+		{"fig3g", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultFig3gOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -142,11 +197,11 @@ func registry() []experimentEntry {
 			res, err := experiments.RunLoadComparison(
 				"Figure 3(g) — Root-based vs generic traversal (leader communication)", opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"latency", func(seed int64, scale float64, parallel int) (string, error) {
+		{"latency", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultLatencyOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -154,11 +209,11 @@ func registry() []experimentEntry {
 			opts.Events = scaleInt(opts.Events, scale, 40)
 			res, err := experiments.RunLatency(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"ablations", func(seed int64, scale float64, parallel int) (string, error) {
+		{"ablations", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultAblationOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -166,18 +221,18 @@ func registry() []experimentEntry {
 			opts.Steps = scaleInt(opts.Steps, scale, 300)
 			res, err := experiments.RunAblations(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"analysis", func(seed int64, scale float64, parallel int) (string, error) {
+		{"analysis", func(seed int64, scale float64, parallel int) (renderable, error) {
 			res, err := experiments.RunAnalysis(experiments.DefaultAnalysisOptions())
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
-		{"scale", func(seed int64, scale float64, parallel int) (string, error) {
+		{"scale", func(seed int64, scale float64, parallel int) (renderable, error) {
 			opts := experiments.DefaultScaleOptions()
 			opts.Seed = seed
 			opts.Nodes = scaleInt(opts.Nodes, scale, 200)
@@ -189,14 +244,14 @@ func registry() []experimentEntry {
 			}
 			res, err := experiments.RunScale(opts)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return res.Render(), nil
+			return res, nil
 		}},
 	}
 }
 
-func runFig3cd(seed int64, scale float64, parallel int) (string, error) {
+func runFig3cd(seed int64, scale float64, parallel int) (renderable, error) {
 	opts := experiments.DefaultFig3cdOptions()
 	opts.Seed = seed
 	opts.Parallelism = parallel
@@ -204,12 +259,12 @@ func runFig3cd(seed int64, scale float64, parallel int) (string, error) {
 	opts.Steps = scaleInt(opts.Steps, scale, 500)
 	res, err := experiments.RunFig3cd(opts)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return res.Render(), nil
+	return res, nil
 }
 
-func runFig3ef(seed int64, scale float64, parallel int) (string, error) {
+func runFig3ef(seed int64, scale float64, parallel int) (renderable, error) {
 	opts := experiments.DefaultFig3efOptions()
 	opts.Seed = seed
 	opts.Parallelism = parallel
@@ -219,9 +274,9 @@ func runFig3ef(seed int64, scale float64, parallel int) (string, error) {
 	res, err := experiments.RunLoadComparison(
 		"Figures 3(e)/(f) — Leader vs epidemic communication (root traversal)", opts)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return res.Render(), nil
+	return res, nil
 }
 
 func scaleInt(v int, scale float64, floor int) int {

@@ -26,8 +26,11 @@
 //	_ = bob.Publish(ev)
 //
 // Peers run as goroutines connected by channels (internal/livenet); the
-// same protocol code also runs on the deterministic cycle simulator that
-// regenerates the paper's evaluation (cmd/dps-bench).
+// same protocol code — three subsystems (membership, dissemination,
+// self-* repair) behind internal/core's typed dispatch kernel — also
+// runs on the deterministic cycle simulator that regenerates the paper's
+// evaluation (cmd/dps-bench) and over TCP (internal/tcpnet, cmd/dps-node)
+// using the versioned binary wire codec.
 package dps
 
 import (

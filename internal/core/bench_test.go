@@ -100,8 +100,8 @@ func BenchmarkNotifyLocal(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		node.notifyLocal(EventID(i+1), ev)
-		delete(node.seen, EventID(i+1)) // keep the dedup map flat across b.N
+		node.dis.notifyLocal(EventID(i+1), ev)
+		delete(node.dis.seen, EventID(i+1)) // keep the dedup map flat across b.N
 	}
 	b.StopTimer()
 	if delivered != b.N {

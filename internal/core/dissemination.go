@@ -1,14 +1,18 @@
 package core
 
 import (
+	"errors"
+
 	"github.com/dps-overlay/dps/internal/filter"
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
-// This file implements the publication scheme of §4.1/§4.2: PUBLISH walks
-// the attribute trees pruning non-matching subtrees (root-based goes only
-// down; generic also climbs toward the root), and PUBLISH GROUP diffuses
-// the event inside each matching group (leader relay or gossip).
+// The dissemination subsystem implements the publication scheme of
+// §4.1/§4.2: PUBLISH walks the attribute trees pruning non-matching
+// subtrees (root-based goes only down; generic also climbs toward the
+// root), and PUBLISH GROUP diffuses the event inside each matching group
+// (leader relay or gossip), with local delivery through the per-attribute
+// subscription index.
 
 // routeKey deduplicates per-(event, group) routing work: a node may route
 // the same event for several of its groups, but exactly once per group.
@@ -17,8 +21,79 @@ type routeKey struct {
 	key string
 }
 
+// pendingPub is a publication buffered while its target group finishes
+// construction (the paper's blocking flag during group creation).
+type pendingPub struct {
+	msg    publishTree
+	heldAt int64
+}
+
+// hotEvent is an event a member keeps re-offering for a few gossip rounds
+// (epidemic mode), the bimodal-multicast behaviour behind the paper's
+// "high probabilistic guarantees of delivery".
+type hotEvent struct {
+	id     EventID
+	ev     filter.Event
+	afKey  string
+	round  int
+	nextAt int64
+}
+
+// disseminationSys owns event routing and delivery. It shares node state
+// through the embedded *state; the dedup memories, the pending buffer and
+// the delivery hooks are private to it.
+type disseminationSys struct {
+	*state
+
+	seen    map[EventID]int64  // notify dedup: first-receipt step
+	routed  map[routeKey]int64 // per-(event, group) routing dedup
+	pending []pendingPub
+	hot     []hotEvent // events being re-gossiped (epidemic rounds)
+
+	onEvent   func(EventID, filter.Event) // first receipt (contacted)
+	onDeliver func(EventID, filter.Event) // matched a local subscription
+}
+
+// publish implements Node.Publish: one publication per attribute tree the
+// event touches (paper §4.1).
+func (n *disseminationSys) publish(id EventID, ev filter.Event) error {
+	if len(ev) == 0 {
+		return errors.New("core: empty event")
+	}
+	for _, as := range ev {
+		msg := publishTree{ID: id, Event: ev, Attr: as.Attr, Mode: n.cfg.Traversal}
+		switch n.cfg.Traversal {
+		case Generic:
+			contact, ok := n.cfg.Directory.Contact(as.Attr, n.env.Rand())
+			if !ok {
+				continue // no tree: no subscriber cares about this attribute
+			}
+			msg.Up = true
+			n.sendOrLocal(contact, msg)
+		default:
+			owner, ok := n.cfg.Directory.Owner(as.Attr)
+			if !ok {
+				continue
+			}
+			msg.AF = filter.UniversalFilter(as.Attr)
+			n.sendOrLocal(owner, msg)
+		}
+	}
+	return nil
+}
+
+// sendOrLocal delivers locally when the target is self (publications may
+// enter the tree at the publisher itself).
+func (n *disseminationSys) sendOrLocal(to sim.NodeID, msg publishTree) {
+	if to == n.ID() {
+		n.handlePublishTree(msg)
+		return
+	}
+	n.env.Send(to, msg)
+}
+
 // handlePublishTree processes one tree-level hop of an event.
-func (n *Node) handlePublishTree(msg publishTree) {
+func (n *disseminationSys) handlePublishTree(msg publishTree) {
 	var m *membership
 	if !msg.AF.IsZero() {
 		var ok bool
@@ -45,7 +120,7 @@ func (n *Node) handlePublishTree(msg publishTree) {
 // activeMembershipIn returns a deterministic active membership in the
 // tree of attr, or nil. Iteration follows the maintained group order, the
 // same canonical-key order the seed derived by sorting map keys.
-func (n *Node) activeMembershipIn(attr string) *membership {
+func (n *disseminationSys) activeMembershipIn(attr string) *membership {
 	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if m.af.Attr() == attr && m.state == stateActive {
@@ -56,7 +131,7 @@ func (n *Node) activeMembershipIn(attr string) *membership {
 }
 
 // routeEvent applies the traversal rules at membership m.
-func (n *Node) routeEvent(m *membership, msg publishTree) {
+func (n *disseminationSys) routeEvent(m *membership, msg publishTree) {
 	v, ok := msg.Event.Value(m.af.Attr())
 	if !ok {
 		return
@@ -124,7 +199,7 @@ func (n *Node) routeEvent(m *membership, msg publishTree) {
 // groupRelay picks the live leader (or first live co-leader) to hand
 // tree-level work to; false when none is known alive or we should act
 // ourselves.
-func (n *Node) groupRelay(m *membership) (sim.NodeID, bool) {
+func (n *disseminationSys) groupRelay(m *membership) (sim.NodeID, bool) {
 	if m.leader != 0 && m.leader != n.ID() && !n.suspected[m.leader] {
 		return m.leader, true
 	}
@@ -144,7 +219,7 @@ func (n *Node) groupRelay(m *membership) (sim.NodeID, bool) {
 // iteration follows the membership's maintained order; contact selection
 // fills a small stack buffer per branch (handlePublishTree can recurse when
 // a contact is this node, so the buffer must be per-frame, not shared).
-func (n *Node) forwardDown(m *membership, msg publishTree, v filter.Value) {
+func (n *disseminationSys) forwardDown(m *membership, msg publishTree, v filter.Value) {
 	for _, k := range m.branchOrder {
 		b := m.branches[k]
 		if !b.AF.Matches(v) {
@@ -167,7 +242,7 @@ func (n *Node) forwardDown(m *membership, msg publishTree, v filter.Value) {
 }
 
 // forwardUp relays the event to the predecessor group (generic mode).
-func (n *Node) forwardUp(m *membership, msg publishTree) {
+func (n *disseminationSys) forwardUp(m *membership, msg publishTree) {
 	if m.isRoot || len(m.parent.Nodes) == 0 {
 		return
 	}
@@ -201,7 +276,7 @@ func (n *Node) forwardUp(m *membership, msg publishTree) {
 // in leader mode (the child leader; suspicion moves to the next), k' in
 // epidemic mode. dst is caller-provided scratch (usually a stack buffer)
 // so steady-state routing does not allocate per branch.
-func (n *Node) branchContacts(dst []sim.NodeID, b *Branch) []sim.NodeID {
+func (n *disseminationSys) branchContacts(dst []sim.NodeID, b *Branch) []sim.NodeID {
 	k := n.crossFanout()
 	for _, c := range b.Nodes {
 		if n.suspected[c] {
@@ -218,7 +293,7 @@ func (n *Node) branchContacts(dst []sim.NodeID, b *Branch) []sim.NodeID {
 	return dst
 }
 
-func (n *Node) crossFanout() int {
+func (n *disseminationSys) crossFanout() int {
 	if n.cfg.Comm == Epidemic && n.cfg.CrossFanout > 1 {
 		return n.cfg.CrossFanout
 	}
@@ -227,7 +302,7 @@ func (n *Node) crossFanout() int {
 
 // diffuseInGroup spreads the event to the members of m (PUBLISH GROUP).
 // treeLevel marks diffusion started by a tree-level receipt.
-func (n *Node) diffuseInGroup(m *membership, id EventID, ev filter.Event, hops int, treeLevel bool) {
+func (n *disseminationSys) diffuseInGroup(m *membership, id EventID, ev filter.Event, hops int, treeLevel bool) {
 	switch n.cfg.Comm {
 	case Epidemic:
 		p := pow(n.cfg.ForwardDecay, hops)
@@ -277,7 +352,7 @@ func (n *Node) diffuseInGroup(m *membership, id EventID, ev filter.Event, hops i
 }
 
 // handlePublishGroup processes intra-group event traffic.
-func (n *Node) handlePublishGroup(from sim.NodeID, msg publishGroup) {
+func (n *disseminationSys) handlePublishGroup(from sim.NodeID, msg publishGroup) {
 	m, ok := n.groups[msg.AF.Key()]
 	if !ok || m.state != stateActive {
 		return
@@ -317,7 +392,7 @@ func (n *Node) handlePublishGroup(from sim.NodeID, msg publishGroup) {
 // × every subscription. The delivered hook fires at most once per event
 // regardless of how many subscriptions match, so probe order cannot
 // change observable behaviour.
-func (n *Node) notifyLocal(id EventID, ev filter.Event) {
+func (n *disseminationSys) notifyLocal(id EventID, ev filter.Event) {
 	if _, dup := n.seen[id]; dup {
 		return
 	}
@@ -338,7 +413,7 @@ func (n *Node) notifyLocal(id EventID, ev filter.Event) {
 }
 
 // flushPending replays publications that were waiting for m to settle.
-func (n *Node) flushPending(m *membership) {
+func (n *disseminationSys) flushPending(m *membership) {
 	if len(n.pending) == 0 {
 		return
 	}
@@ -358,7 +433,7 @@ func (n *Node) flushPending(m *membership) {
 }
 
 // expirePending drops publications whose target group never settled.
-func (n *Node) expirePending(now int64) {
+func (n *disseminationSys) expirePending(now int64) {
 	if len(n.pending) == 0 || n.cfg.PendingTTL <= 0 {
 		return
 	}
@@ -371,19 +446,8 @@ func (n *Node) expirePending(now int64) {
 	n.pending = kept
 }
 
-// hotEvent is an event a member keeps re-offering for a few gossip rounds
-// (epidemic mode), the bimodal-multicast behaviour behind the paper's
-// "high probabilistic guarantees of delivery".
-type hotEvent struct {
-	id     EventID
-	ev     filter.Event
-	afKey  string
-	round  int
-	nextAt int64
-}
-
 // gossipHot runs due re-gossip rounds.
-func (n *Node) gossipHot(now int64) {
+func (n *disseminationSys) gossipHot(now int64) {
 	if n.cfg.Comm != Epidemic || len(n.hot) == 0 {
 		return
 	}
@@ -411,11 +475,26 @@ func (n *Node) gossipHot(now int64) {
 }
 
 // scheduleHot registers an event for re-gossip rounds.
-func (n *Node) scheduleHot(m *membership, id EventID, ev filter.Event) {
+func (n *disseminationSys) scheduleHot(m *membership, id EventID, ev filter.Event) {
 	if n.cfg.Comm != Epidemic || n.cfg.GossipRounds <= 1 {
 		return
 	}
 	n.hot = append(n.hot, hotEvent{
 		id: id, ev: ev, afKey: m.af.Key(), round: 1, nextAt: n.env.Now() + 2,
 	})
+}
+
+// gcDedup expires the event dedup memories (called from the node's shared
+// dedup sweep, already gated on SeenTTL and the sweep period).
+func (n *disseminationSys) gcDedup(now int64) {
+	for id, at := range n.seen {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.seen, id)
+		}
+	}
+	for rk, at := range n.routed {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.routed, rk)
+		}
+	}
 }

@@ -1,19 +1,95 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/dps-overlay/dps/internal/filter"
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
-// This file implements the subscription scheme of §4.1: the FIND GROUP
-// walk locating a subscription's position in its attribute tree, and the
-// SUBSCRIBE TO / CREATE GROUP answers, in both leader-based and epidemic
-// flavours, for both root-based and generic traversal.
+// The membership subsystem implements the subscription scheme of §3/§4.1:
+// the FIND GROUP walk locating a subscription's position in its attribute
+// tree, the SUBSCRIBE TO / CREATE GROUP answers, membership gossip and
+// voluntary departures, in both leader-based and epidemic flavours, for
+// both root-based and generic traversal.
+
+// membershipSys owns group discovery, joins and view membership. It
+// shares node state through the embedded *state and hands work to its
+// sibling subsystems only through the typed references below.
+type membershipSys struct {
+	*state
+	dis *disseminationSys // flushes publications once a group settles
+	rep *repairSys        // co-owner recruitment, leadership announcements
+
+	rumours map[string]int64 // gossipSub forward dedup (rumour-mongering)
+}
+
+// subscribe implements Node.Subscribe: the node joins the tree of the
+// subscription's first attribute, at the group of its attribute filter.
+func (n *membershipSys) subscribe(sub filter.Subscription) error {
+	filters, err := filter.SubscriptionFilters(sub)
+	if err != nil {
+		return err
+	}
+	af := filters[0]
+	if af.IsEmpty() {
+		return fmt.Errorf("core: subscription %v has an unsatisfiable filter on %q", sub, af.Attr())
+	}
+	if m, ok := n.groups[af.Key()]; ok {
+		m.subs = append(m.subs, sub)
+		n.indexSub(sub)
+		return nil
+	}
+	m := &membership{
+		af:        af,
+		subs:      []filter.Subscription{sub},
+		state:     stateJoining,
+		coLeaders: newView(),
+		members:   newView(n.ID()),
+		branches:  make(map[string]*Branch),
+	}
+	n.addGroup(af.Key(), m)
+	n.addJoining(af.Key(), m)
+	n.indexSub(sub)
+	n.startJoin(m)
+	return nil
+}
+
+// unsubscribe implements Node.Unsubscribe. When the last subscription
+// behind a membership goes, the node leaves the group.
+func (n *membershipSys) unsubscribe(sub filter.Subscription) error {
+	filters, err := filter.SubscriptionFilters(sub)
+	if err != nil {
+		return err
+	}
+	af := filters[0]
+	m, ok := n.groups[af.Key()]
+	if !ok {
+		return fmt.Errorf("core: not subscribed with filter %v", af)
+	}
+	want := sub.String()
+	found := false
+	for i, s := range m.subs {
+		if s.String() == want {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: subscription %v not found", sub)
+	}
+	n.unindexSub(sub)
+	if len(m.subs) == 0 {
+		n.leaveGroup(m)
+	}
+	return nil
+}
 
 // startJoin kicks off (or retries) the findGroup walk for a joining
 // membership. If the attribute has no tree yet, the subscriber claims
 // ownership and becomes the root.
-func (n *Node) startJoin(m *membership) {
+func (n *membershipSys) startJoin(m *membership) {
 	m.sentAt = n.env.Now()
 	m.retries++
 	attr := m.af.Attr()
@@ -47,7 +123,7 @@ func (n *Node) startJoin(m *membership) {
 }
 
 // ensureRoot creates the root membership for an attribute this node owns.
-func (n *Node) ensureRoot(attr string) *membership {
+func (n *membershipSys) ensureRoot(attr string) *membership {
 	af := filter.UniversalFilter(attr)
 	if m, ok := n.groups[af.Key()]; ok {
 		return m
@@ -68,7 +144,7 @@ func (n *Node) ensureRoot(attr string) *membership {
 
 // retryJoins re-issues findGroup walks that have gone unanswered — lost to
 // crashed handlers or to in-flight reconfiguration.
-func (n *Node) retryJoins(now int64) {
+func (n *membershipSys) retryJoins(now int64) {
 	if len(n.joining) == 0 {
 		return
 	}
@@ -85,7 +161,7 @@ func (n *Node) retryJoins(now int64) {
 }
 
 // handleFindGroup processes one step of the walk at this node.
-func (n *Node) handleFindGroup(f findGroup) {
+func (n *membershipSys) handleFindGroup(f findGroup) {
 	var m *membership
 	if !f.At.IsZero() {
 		if tm, ok := n.groups[f.At.Key()]; ok {
@@ -135,12 +211,12 @@ func (n *Node) handleFindGroup(f findGroup) {
 
 // localFindGroup runs the walk starting at one of this node's own
 // memberships (tree owners and re-walks).
-func (n *Node) localFindGroup(f findGroup) {
+func (n *membershipSys) localFindGroup(f findGroup) {
 	n.handleFindGroup(f)
 }
 
 // walkMembership picks the membership that should process the walk step.
-func (n *Node) walkMembership(f findGroup) *membership {
+func (n *membershipSys) walkMembership(f findGroup) *membership {
 	attr := f.AF.Attr()
 	// Prefer the root membership if we host it.
 	if m, ok := n.groups[filter.UniversalFilter(attr).Key()]; ok {
@@ -160,7 +236,7 @@ func (n *Node) walkMembership(f findGroup) *membership {
 
 // walkFrom advances the walk from membership m, possibly recursing locally
 // when the next hop is this same node.
-func (n *Node) walkFrom(m *membership, f findGroup) {
+func (n *membershipSys) walkFrom(m *membership, f findGroup) {
 	if f.Hops > 128 {
 		return // defensive bound; the subscriber will retry
 	}
@@ -172,7 +248,7 @@ func (n *Node) walkFrom(m *membership, f findGroup) {
 		return
 	}
 	if m.isRoot {
-		n.maybeRecruitCoOwner(m, f.Subscriber)
+		n.rep.maybeRecruitCoOwner(m, f.Subscriber)
 	}
 	switch {
 	case m.af.SameExtension(f.AF):
@@ -228,7 +304,7 @@ func (n *Node) walkFrom(m *membership, f findGroup) {
 // usable contact is skipped, letting the walk stop at the current group —
 // a re-attaching subscriber then re-anchors its existing group here via
 // CREATE GROUP, which overwrites the stale branch entry.
-func (n *Node) routeDown(m *membership, f findGroup) (sim.NodeID, filter.AttrFilter, bool) {
+func (n *membershipSys) routeDown(m *membership, f findGroup) (sim.NodeID, filter.AttrFilter, bool) {
 	keys := m.branchOrder
 	for _, k := range keys {
 		b := m.branches[k]
@@ -250,7 +326,7 @@ func (n *Node) routeDown(m *membership, f findGroup) (sim.NodeID, filter.AttrFil
 }
 
 // liveContact returns the first usable contact of a branch, or 0.
-func (n *Node) liveContact(b *Branch, exclude sim.NodeID) sim.NodeID {
+func (n *membershipSys) liveContact(b *Branch, exclude sim.NodeID) sim.NodeID {
 	for _, c := range b.Nodes {
 		if c != exclude && !n.suspected[c] {
 			return c
@@ -260,7 +336,7 @@ func (n *Node) liveContact(b *Branch, exclude sim.NodeID) sim.NodeID {
 }
 
 // acceptMember adds the subscriber to this group and answers SUBSCRIBE TO.
-func (n *Node) acceptMember(m *membership, sub sim.NodeID, wanted filter.AttrFilter) {
+func (n *membershipSys) acceptMember(m *membership, sub sim.NodeID, wanted filter.AttrFilter) {
 	if sub == n.ID() {
 		// Self-joins happen when the wanted filter has the same extension
 		// as a group we already belong to (string filters can differ
@@ -320,7 +396,7 @@ func (n *Node) acceptMember(m *membership, sub sim.NodeID, wanted filter.AttrFil
 			}
 		}
 		if becameCoLeader {
-			n.broadcastCoLeaders(m)
+			n.rep.broadcastCoLeaders(m)
 			// The parent's branch entry for us can now carry K contacts.
 			contacts := append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...)
 			for _, p := range m.parent.Nodes {
@@ -333,7 +409,7 @@ func (n *Node) acceptMember(m *membership, sub sim.NodeID, wanted filter.AttrFil
 
 // memberSample returns the membership list shipped in epidemic join
 // answers and view exchanges: a bounded sample of the partial view.
-func (n *Node) memberSample(m *membership) []sim.NodeID {
+func (n *membershipSys) memberSample(m *membership) []sim.NodeID {
 	if n.cfg.Comm == Epidemic {
 		s := m.members.sample(n.env.Rand(), n.cfg.GroupViewSize)
 		if len(s) == 0 {
@@ -347,7 +423,7 @@ func (n *Node) memberSample(m *membership) []sim.NodeID {
 // createChild makes this group the designated predecessor Gm of the new
 // filter: former child branches now covered by the new group are adopted
 // by it (CREATE GROUP).
-func (n *Node) createChild(m *membership, f findGroup) {
+func (n *membershipSys) createChild(m *membership, f findGroup) {
 	var adopted []Branch
 	for _, k := range append([]string(nil), m.branchOrder...) {
 		b := m.branches[k]
@@ -363,7 +439,7 @@ func (n *Node) createChild(m *membership, f findGroup) {
 		Parent:  Branch{AF: m.af, Nodes: parentContacts},
 		Adopted: adopted,
 	}
-	n.maybeRecruitCoOwner(m, f.Subscriber)
+	n.rep.maybeRecruitCoOwner(m, f.Subscriber)
 	if f.Subscriber == n.ID() {
 		n.handleCreateGroup(n.ID(), msg)
 		return
@@ -371,59 +447,9 @@ func (n *Node) createChild(m *membership, f findGroup) {
 	n.send(f.Subscriber, msg)
 }
 
-// maybeRecruitCoOwner enlists early subscribers of a tree as co-owners:
-// mirrors of the root group that keep routing and ownership alive when the
-// owner crashes. The root of a DPS tree is a group like any other; a
-// singleton root would be a single point of failure for generic
-// up-routing.
-func (n *Node) maybeRecruitCoOwner(m *membership, sub sim.NodeID) {
-	if !m.isRoot || n.cfg.Comm != LeaderBased || !m.isLeaderHere(n.ID()) ||
-		sub == n.ID() || m.coLeaders.has(sub) || m.coLeaders.len() >= n.cfg.Kc {
-		return
-	}
-	m.coLeaders.add(sub)
-	m.members.add(sub)
-	n.send(sub, rootInvite{
-		Attr:      m.af.Attr(),
-		Leader:    n.ID(),
-		CoLeaders: m.coLeaders.ids(),
-		Members:   m.members.ids(),
-		Branches:  m.branchList(),
-	})
-}
-
-// handleRootInvite installs a co-owner mirror of the tree root.
-func (n *Node) handleRootInvite(msg rootInvite) {
-	af := filter.UniversalFilter(msg.Attr)
-	m, ok := n.groups[af.Key()]
-	if !ok {
-		m = &membership{
-			af:        af,
-			state:     stateActive,
-			coLeaders: newView(),
-			members:   newView(n.ID()),
-			branches:  make(map[string]*Branch),
-			isRoot:    true,
-		}
-		n.addGroup(af.Key(), m)
-	}
-	m.leader = msg.Leader
-	m.leaderlessAt = 0
-	m.coLeaders = newView(msg.CoLeaders...)
-	for _, id := range msg.Members {
-		m.members.add(id)
-	}
-	for _, b := range msg.Branches {
-		if _, dup := m.branches[b.AF.Key()]; !dup {
-			nb := cloneBranch(b)
-			m.setBranch(b.AF.Key(), &nb)
-		}
-	}
-}
-
 // handleCreateGroup installs this node as the founding member (and leader)
 // of a new group.
-func (n *Node) handleCreateGroup(from sim.NodeID, msg createGroup) {
+func (n *membershipSys) handleCreateGroup(from sim.NodeID, msg createGroup) {
 	m, ok := n.groups[msg.AF.Key()]
 	if !ok {
 		// We no longer want this group (raced unsubscribe): dissolve it
@@ -448,11 +474,11 @@ func (n *Node) handleCreateGroup(from sim.NodeID, msg createGroup) {
 		}
 	}
 	n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
-	n.flushPending(m)
+	n.dis.flushPending(m)
 }
 
 // handleJoinAccept finalises a SUBSCRIBE TO.
-func (n *Node) handleJoinAccept(from sim.NodeID, msg joinAccept) {
+func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 	m, ok := n.groups[msg.AF.Key()]
 	if ok && m.state == stateActive && n.cfg.Comm == LeaderBased &&
 		m.isLeaderHere(n.ID()) && msg.Leader != 0 && msg.Leader != n.ID() {
@@ -461,7 +487,7 @@ func (n *Node) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 		// view-exchange merge uses, so two instances can never demote into
 		// each other.
 		if msg.Leader < n.ID() {
-			n.demoteInto(m, msg.Leader, msg.CoLeaders)
+			n.rep.demoteInto(m, msg.Leader, msg.CoLeaders)
 		} else {
 			n.send(msg.Leader, viewExchange{
 				AF:       m.af,
@@ -526,11 +552,11 @@ func (n *Node) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 	if wasJoining {
 		n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
 	}
-	n.flushPending(m)
+	n.dis.flushPending(m)
 }
 
 // handleJoinNotify keeps leader-mode co-leaders' groupview in sync.
-func (n *Node) handleJoinNotify(msg joinNotify) {
+func (n *membershipSys) handleJoinNotify(msg joinNotify) {
 	m, ok := n.groups[msg.AF.Key()]
 	if !ok {
 		return
@@ -544,7 +570,7 @@ func (n *Node) handleJoinNotify(msg joinNotify) {
 }
 
 // handleGossipSub spreads epidemic membership updates (GOSSIP SUB).
-func (n *Node) handleGossipSub(msg gossipSub) {
+func (n *membershipSys) handleGossipSub(msg gossipSub) {
 	m, ok := n.groups[msg.AF.Key()]
 	if !ok {
 		return
@@ -592,7 +618,7 @@ const maxGossipHops = 32
 
 // gossipMembership forwards a membership rumour to Fs random members with
 // hop-decaying probability.
-func (n *Node) gossipMembership(m *membership, msg gossipSub) {
+func (n *membershipSys) gossipMembership(m *membership, msg gossipSub) {
 	if msg.Hops >= maxGossipHops {
 		return
 	}
@@ -606,52 +632,8 @@ func (n *Node) gossipMembership(m *membership, msg gossipSub) {
 	}
 }
 
-// handleAdopt re-parents this node's group.
-func (n *Node) handleAdopt(msg adopt) {
-	m, ok := n.groups[msg.AF.Key()]
-	if !ok {
-		return
-	}
-	m.parent = msg.NewParent
-}
-
-// handleCoLeaderUpdate installs the announced leader/co-leader set.
-func (n *Node) handleCoLeaderUpdate(from sim.NodeID, msg coLeaderUpdate) {
-	m, ok := n.groups[msg.AF.Key()]
-	if !ok {
-		return
-	}
-	if msg.Leader != 0 && n.suspected[msg.Leader] {
-		return // stale announcement naming a peer we know is dead
-	}
-	m.leader = msg.Leader
-	m.leaderlessAt = 0
-	m.coLeaders = n.liveView(msg.CoLeaders)
-}
-
-// liveView builds a view from ids, dropping peers this node suspects dead
-// (stale lists would otherwise reinfect healed state with corpses).
-func (n *Node) liveView(ids []sim.NodeID) *view {
-	v := newView()
-	for _, id := range ids {
-		if !n.suspected[id] {
-			v.add(id)
-		}
-	}
-	return v
-}
-
-// broadcastCoLeaders tells every member the current leadership (leader
-// mode; members only track leaders and co-leaders).
-func (n *Node) broadcastCoLeaders(m *membership) {
-	msg := coLeaderUpdate{AF: m.af, Leader: m.leader, CoLeaders: m.coLeaders.ids()}
-	for _, id := range m.members.ids() {
-		n.send(id, msg)
-	}
-}
-
 // leaveGroup executes a voluntary departure (unsubscription).
-func (n *Node) leaveGroup(m *membership) {
+func (n *membershipSys) leaveGroup(m *membership) {
 	n.dropMembership(m.af.Key())
 	n.cfg.Directory.DropContact(m.af.Attr(), n.ID())
 	if m.state != stateActive {
@@ -684,7 +666,7 @@ func (n *Node) leaveGroup(m *membership) {
 }
 
 // handOverLeadership promotes a successor before the leader departs.
-func (n *Node) handOverLeadership(m *membership, alive []sim.NodeID) {
+func (n *membershipSys) handOverLeadership(m *membership, alive []sim.NodeID) {
 	successor, ok := m.coLeaders.first()
 	if !ok {
 		successor = alive[0]
@@ -711,7 +693,7 @@ func (n *Node) handOverLeadership(m *membership, alive []sim.NodeID) {
 
 // notifyNeighboursOfContacts refreshes the branch entry the parent keeps
 // for this group and the predview its children keep.
-func (n *Node) notifyNeighboursOfContacts(m *membership, contacts []sim.NodeID) {
+func (n *membershipSys) notifyNeighboursOfContacts(m *membership, contacts []sim.NodeID) {
 	self := Branch{AF: m.af, Nodes: contacts}
 	for _, p := range m.parent.Nodes {
 		n.send(p, branchUpdate{Parent: m.parent.AF, Child: cloneBranch(self)})
@@ -725,7 +707,7 @@ func (n *Node) notifyNeighboursOfContacts(m *membership, contacts []sim.NodeID) 
 }
 
 // handleLeave processes a member departure or a whole-group dissolution.
-func (n *Node) handleLeave(msg leave) {
+func (n *membershipSys) handleLeave(msg leave) {
 	// Group dissolution: adopt the orphaned branches.
 	if len(msg.Branches) > 0 {
 		m := n.membershipWithBranch(msg.AF)
@@ -762,7 +744,7 @@ func (n *Node) handleLeave(msg leave) {
 }
 
 // handleBranchUpdate refreshes the contact list of one child branch.
-func (n *Node) handleBranchUpdate(msg branchUpdate) {
+func (n *membershipSys) handleBranchUpdate(msg branchUpdate) {
 	m, ok := n.groups[msg.Parent.Key()]
 	if !ok {
 		m = n.membershipWithBranch(msg.Child.AF)
@@ -782,7 +764,7 @@ func (n *Node) handleBranchUpdate(msg branchUpdate) {
 }
 
 // membershipWithBranch finds the membership holding a branch for af.
-func (n *Node) membershipWithBranch(af filter.AttrFilter) *membership {
+func (n *membershipSys) membershipWithBranch(af filter.AttrFilter) *membership {
 	for _, key := range n.groupOrder {
 		m := n.groups[key]
 		if _, ok := m.branches[af.Key()]; ok {
@@ -792,38 +774,12 @@ func (n *Node) membershipWithBranch(af filter.AttrFilter) *membership {
 	return nil
 }
 
-// handleRehome re-walks this group from the current owner (duplicate-tree
-// merge).
-func (n *Node) handleRehome(msg rehome) {
-	m, ok := n.groups[msg.AF.Key()]
-	if !ok {
-		return
+// gcRumours expires the rumour dedup memory (called from the node's
+// shared dedup sweep, already gated on SeenTTL and the sweep period).
+func (n *membershipSys) gcRumours(now int64) {
+	for k, at := range n.rumours {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.rumours, k)
+		}
 	}
-	n.setJoining(m)
-	n.startJoin(m)
-}
-
-// isLeaderHere reports whether id leads the group (leader mode). Epidemic
-// groups are leaderless and every member answers.
-func (m *membership) isLeaderHere(id sim.NodeID) bool {
-	return m.leader == id
-}
-
-// branchList copies the succview into a shippable slice, canonically
-// ordered (the maintained branch order).
-func (m *membership) branchList() []Branch {
-	out := make([]Branch, 0, len(m.branches))
-	for _, k := range m.branchOrder {
-		out = append(out, cloneBranch(*m.branches[k]))
-	}
-	return out
-}
-
-// pow is a small integer-exponent power for gossip decay.
-func pow(base float64, exp int) float64 {
-	p := 1.0
-	for i := 0; i < exp; i++ {
-		p *= base
-	}
-	return p
 }

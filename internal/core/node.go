@@ -3,129 +3,58 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"github.com/dps-overlay/dps/internal/filter"
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
-// memberState tracks the lifecycle of one group membership.
-type memberState uint8
-
-const (
-	// stateJoining: a findGroup walk is in flight; retried until answered.
-	stateJoining memberState = iota + 1
-	// stateActive: the node is a settled member of the group.
-	stateActive
-)
-
-// membership is a node's participation in one semantic group — one per
-// distinct attribute filter the node subscribed with. It bundles the
-// node-local slice of the group state: role, views toward the group, the
-// predecessor and the successor branches.
-type membership struct {
-	af   filter.AttrFilter
-	subs []filter.Subscription // local subscriptions served by this group
-
-	state   memberState
-	sentAt  int64 // when the last findGroup was sent (retry timer)
-	retries int   // consecutive unanswered findGroup walks
-	// leaderlessAt starts the grace period a leader-mode member allows
-	// for a promotion announcement before re-attaching itself.
-	leaderlessAt int64
-
-	leader    sim.NodeID
-	coLeaders *view
-	members   *view              // groupview (self included)
-	parent    Branch             // predview: contacts toward the predecessor
-	branches  map[string]*Branch // succview: one entry per child group
-	// branchOrder holds the sorted canonical keys of branches, maintained
-	// on every branch mutation: deterministic child iteration is a slice
-	// range, not a per-call map-key sort. All writes to branches must go
-	// through setBranch/deleteBranch to keep the two in sync.
-	branchOrder []string
-	isRoot      bool // this membership hosts the tree root
-}
-
-// setBranch installs b under key in the succview, maintaining the
-// deterministic branch iteration order.
-func (m *membership) setBranch(key string, b *Branch) {
-	if _, dup := m.branches[key]; !dup {
-		m.branchOrder = insertSortedKey(m.branchOrder, key)
-	}
-	m.branches[key] = b
-}
-
-// deleteBranch removes the branch under key, maintaining the order.
-func (m *membership) deleteBranch(key string) {
-	if _, ok := m.branches[key]; ok {
-		delete(m.branches, key)
-		m.branchOrder = removeSortedKey(m.branchOrder, key)
-	}
-}
-
-// pendingPub is a publication buffered while its target group finishes
-// construction (the paper's blocking flag during group creation).
-type pendingPub struct {
-	msg    publishTree
-	heldAt int64
-}
-
-// Node is one DPS peer: subscriber, publisher and router at once.
-// It is driven by an engine through the sim.Process interface.
+// Node is one DPS peer: subscriber, publisher and router at once. It is
+// driven by an engine through the sim.Process interface.
 //
-// Deterministic iteration over groups and branches comes from maintained
-// sorted key slices (groupOrder, joiningOrder, membership.branchOrder),
-// updated incrementally on membership/branch mutation — not from
-// re-sorting map keys per call. Loops that may mutate the underlying maps
-// while iterating take a snapshot copy first; read-only loops range the
-// live slices directly.
+// Internally the node is three protocol subsystems over one shared state,
+// connected by the kernel's typed dispatch table (kernel.go):
+//
+//   - membership (membership.go): §3/§4.1 group discovery, joins, views
+//   - dissemination (dissemination.go): §4.1/§4.2 event routing, delivery
+//   - repair (repair.go): §4.3 heartbeats, healing, promotion, merges
+//
+// The subsystems embed *state (state.go) — the narrow surface of shared
+// data — and reach each other only through the explicit references wired
+// in NewNode, so each protocol machine can be read, tested and
+// fault-injected on its own.
 type Node struct {
-	env sim.Env
-	cfg Config
-
-	groups     map[string]*membership // by canonical filter key
-	groupOrder []string               // sorted keys of groups (maintained)
-	joining    map[string]*membership // subset of groups with state joining
-	joinOrder  []string               // sorted keys of joining (maintained)
-
-	// subsByAttr indexes live subscriptions by their first attribute: a
-	// subscription can only match an event carrying that attribute, so
-	// notifyLocal probes only the lists of the event's own attributes
-	// instead of scanning every group × every subscription.
-	subsByAttr map[string][]indexedSub
-
-	seen    map[EventID]int64  // notify dedup: first-receipt step
-	routed  map[routeKey]int64 // per-(event, group) routing dedup
-	rumours map[string]int64   // gossipSub forward dedup (rumour-mongering)
-	pending []pendingPub
-	hot     []hotEvent // events being re-gossiped (epidemic rounds)
-
-	lastSeen  map[sim.NodeID]int64 // liveness signal per monitored peer
-	suspected map[sim.NodeID]bool
-	nextHB    int64
-
-	// hbScratch is the reusable peer set built by heartbeatSendTargets and
-	// expectedPeers each round; its id list is valid only until the next
-	// reset and must not be retained.
-	hbScratch *view
-
-	onEvent   func(EventID, filter.Event) // first receipt (contacted)
-	onDeliver func(EventID, filter.Event) // matched a local subscription
-
-	// selfQ holds self-addressed protocol messages; they are dispatched
-	// after the current handler returns (inline dispatch would mutate
-	// membership state mid-iteration).
-	selfQ []any
+	st  state
+	mem membershipSys
+	dis disseminationSys
+	rep repairSys
 }
 
-// indexedSub is one entry of the per-attribute delivery index. The id
-// (Subscription.String) identifies the entry for removal, mirroring the
-// identity Unsubscribe matches on.
-type indexedSub struct {
-	sub filter.Subscription
-	id  string
+// kernelAPI catalogues the mutating shared-state surface the subsystems
+// are expected to go through. It is documentation with a compile-time
+// anchor, not an enforcement mechanism: subsystems embed *state directly
+// (field promotion keeps the hot paths free of interface dispatch), so
+// the boundary holds by convention — state-mutation helpers listed here,
+// read access via the promoted fields documented in state.go, everything
+// else via an explicit sibling-subsystem reference — and is exercised by
+// the order-invariant tests, which fail when a mutation bypasses the
+// maintaining helpers.
+type kernelAPI interface {
+	ID() sim.NodeID
+	send(to sim.NodeID, msg message)
+	addGroup(key string, m *membership)
+	removeGroup(key string)
+	addJoining(key string, m *membership)
+	removeJoining(key string)
+	snapshotGroupKeys() []string
+	setActive(m *membership)
+	setJoining(m *membership)
+	dropMembership(key string)
+	indexSub(sub filter.Subscription)
+	unindexSub(sub filter.Subscription)
+	liveView(ids []sim.NodeID) *view
 }
+
+var _ kernelAPI = (*state)(nil)
 
 var _ sim.Process = (*Node)(nil)
 
@@ -144,136 +73,60 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.K <= 0 || cfg.HBMin <= 0 || cfg.HBMax < cfg.HBMin {
 		return nil, errors.New("core: invalid view or heartbeat parameters")
 	}
-	return &Node{
-		cfg:        cfg,
-		groups:     make(map[string]*membership),
-		joining:    make(map[string]*membership),
-		subsByAttr: make(map[string][]indexedSub),
-		seen:       make(map[EventID]int64),
-		routed:     make(map[routeKey]int64),
-		rumours:    make(map[string]int64),
-		lastSeen:   make(map[sim.NodeID]int64),
-		suspected:  make(map[sim.NodeID]bool),
-		hbScratch:  newView(),
-	}, nil
-}
-
-// --- Maintained orderings --------------------------------------------------
-
-// insertSortedKey inserts k into the sorted slice, keeping it sorted and
-// duplicate-free.
-func insertSortedKey(keys []string, k string) []string {
-	i := sort.SearchStrings(keys, k)
-	if i < len(keys) && keys[i] == k {
-		return keys
+	n := &Node{
+		st: state{
+			cfg:        cfg,
+			groups:     make(map[string]*membership),
+			joining:    make(map[string]*membership),
+			subsByAttr: make(map[string][]indexedSub),
+			lastSeen:   make(map[sim.NodeID]int64),
+			suspected:  make(map[sim.NodeID]bool),
+		},
 	}
-	keys = append(keys, "")
-	copy(keys[i+1:], keys[i:])
-	keys[i] = k
-	return keys
-}
-
-// removeSortedKey deletes k from the sorted slice if present.
-func removeSortedKey(keys []string, k string) []string {
-	i := sort.SearchStrings(keys, k)
-	if i < len(keys) && keys[i] == k {
-		keys = append(keys[:i], keys[i+1:]...)
+	n.mem = membershipSys{
+		state:   &n.st,
+		dis:     &n.dis,
+		rep:     &n.rep,
+		rumours: make(map[string]int64),
 	}
-	return keys
-}
-
-// addGroup installs m under key, maintaining the iteration order.
-func (n *Node) addGroup(key string, m *membership) {
-	if _, dup := n.groups[key]; !dup {
-		n.groupOrder = insertSortedKey(n.groupOrder, key)
+	n.dis = disseminationSys{
+		state:  &n.st,
+		seen:   make(map[EventID]int64),
+		routed: make(map[routeKey]int64),
 	}
-	n.groups[key] = m
-}
-
-// removeGroup deletes the membership under key, maintaining the order.
-func (n *Node) removeGroup(key string) {
-	if _, ok := n.groups[key]; ok {
-		delete(n.groups, key)
-		n.groupOrder = removeSortedKey(n.groupOrder, key)
+	n.rep = repairSys{
+		state:     &n.st,
+		mem:       &n.mem,
+		hbScratch: newView(),
 	}
-}
-
-// addJoining tracks m as walking, maintaining the retry iteration order.
-func (n *Node) addJoining(key string, m *membership) {
-	if _, dup := n.joining[key]; !dup {
-		n.joinOrder = insertSortedKey(n.joinOrder, key)
-	}
-	n.joining[key] = m
-}
-
-// removeJoining untracks a settled or dropped walk.
-func (n *Node) removeJoining(key string) {
-	if _, ok := n.joining[key]; ok {
-		delete(n.joining, key)
-		n.joinOrder = removeSortedKey(n.joinOrder, key)
-	}
-}
-
-// snapshotGroupKeys returns a copy of the group iteration order for loops
-// that may create or drop memberships while iterating (joins, healing,
-// anti-entropy). Entries must be re-looked-up — they can go stale mid-loop.
-func (n *Node) snapshotGroupKeys() []string {
-	return append([]string(nil), n.groupOrder...)
-}
-
-// --- Delivery index --------------------------------------------------------
-
-// indexSub registers a live subscription under its first attribute.
-func (n *Node) indexSub(sub filter.Subscription) {
-	attr := sub[0].Attr
-	n.subsByAttr[attr] = append(n.subsByAttr[attr], indexedSub{sub: sub, id: sub.String()})
-}
-
-// unindexSub removes one previously indexed subscription (by the same
-// string identity Unsubscribe matches on). Order of the remaining entries
-// is preserved so delivery iteration stays deterministic.
-func (n *Node) unindexSub(sub filter.Subscription) {
-	attr := sub[0].Attr
-	list := n.subsByAttr[attr]
-	id := sub.String()
-	for i := range list {
-		if list[i].id == id {
-			list = append(list[:i], list[i+1:]...)
-			break
-		}
-	}
-	if len(list) == 0 {
-		delete(n.subsByAttr, attr)
-		return
-	}
-	n.subsByAttr[attr] = list
+	return n, nil
 }
 
 // OnEventHook registers the contacted hook: fired on the first receipt of
 // each event, whether or not a local subscription matches.
-func (n *Node) OnEventHook(fn func(EventID, filter.Event)) { n.onEvent = fn }
+func (n *Node) OnEventHook(fn func(EventID, filter.Event)) { n.dis.onEvent = fn }
 
 // OnDeliverHook registers the delivery hook: fired when a first-received
 // event matches at least one local subscription (the paper's Notify).
-func (n *Node) OnDeliverHook(fn func(EventID, filter.Event)) { n.onDeliver = fn }
+func (n *Node) OnDeliverHook(fn func(EventID, filter.Event)) { n.dis.onDeliver = fn }
 
 // Attach implements sim.Process.
 func (n *Node) Attach(env sim.Env) {
-	n.env = env
-	n.nextHB = n.hbPeriod()
+	n.st.env = env
+	n.rep.nextHB = n.rep.hbPeriod()
 }
 
 // ID returns the node's identifier (valid after Attach).
-func (n *Node) ID() sim.NodeID { return n.env.ID() }
+func (n *Node) ID() sim.NodeID { return n.st.ID() }
 
 // Memberships returns the canonical keys of the groups the node currently
 // belongs to (diagnostic/test helper).
 func (n *Node) Memberships() []string {
-	return append([]string(nil), n.groupOrder...)
+	return append([]string(nil), n.st.groupOrder...)
 }
 
-// Group returns the membership for the canonical key (test helper).
-func (n *Node) group(key string) *membership { return n.groups[key] }
+// group returns the membership for the canonical key (test helper).
+func (n *Node) group(key string) *membership { return n.st.groups[key] }
 
 // MembershipInfo is a diagnostic snapshot of one group membership.
 type MembershipInfo struct {
@@ -290,15 +143,15 @@ type MembershipInfo struct {
 // Inspect returns diagnostic snapshots of every membership, keyed by
 // canonical filter key (for tools and tests; not part of the protocol).
 func (n *Node) Inspect() map[string]MembershipInfo {
-	out := make(map[string]MembershipInfo, len(n.groups))
-	for key, m := range n.groups {
-		state := "active"
+	out := make(map[string]MembershipInfo, len(n.st.groups))
+	for key, m := range n.st.groups {
+		lifecycle := "active"
 		if m.state == stateJoining {
-			state = "joining"
+			lifecycle = "joining"
 		}
 		out[key] = MembershipInfo{
 			Filter:    m.af.String(),
-			State:     state,
+			State:     lifecycle,
 			IsRoot:    m.isRoot,
 			Leader:    m.leader,
 			CoLeaders: m.coLeaders.ids(),
@@ -313,9 +166,21 @@ func (n *Node) Inspect() map[string]MembershipInfo {
 // Subscriptions returns all live subscriptions of the node.
 func (n *Node) Subscriptions() []filter.Subscription {
 	var out []filter.Subscription
-	for _, key := range n.groupOrder {
-		m := n.groups[key]
+	for _, key := range n.st.groupOrder {
+		m := n.st.groups[key]
 		out = append(out, m.subs...)
+	}
+	return out
+}
+
+// InspectBranches returns every branch this node holds across its
+// memberships, keyed by the child filter's canonical key (diagnostics).
+func (n *Node) InspectBranches() map[string][]sim.NodeID {
+	out := make(map[string][]sim.NodeID)
+	for _, m := range n.st.groups {
+		for key, b := range m.branches {
+			out[key] = append([]sim.NodeID(nil), b.Nodes...)
+		}
 	}
 	return out
 }
@@ -324,252 +189,57 @@ func (n *Node) Subscriptions() []filter.Subscription {
 // the tree of the subscription's first attribute, at the group of its
 // attribute filter there. An unsatisfiable filter is rejected.
 func (n *Node) Subscribe(sub filter.Subscription) error {
-	filters, err := filter.SubscriptionFilters(sub)
-	if err != nil {
-		return err
-	}
-	af := filters[0]
-	if af.IsEmpty() {
-		return fmt.Errorf("core: subscription %v has an unsatisfiable filter on %q", sub, af.Attr())
-	}
-	if m, ok := n.groups[af.Key()]; ok {
-		m.subs = append(m.subs, sub)
-		n.indexSub(sub)
-		return nil
-	}
-	m := &membership{
-		af:        af,
-		subs:      []filter.Subscription{sub},
-		state:     stateJoining,
-		coLeaders: newView(),
-		members:   newView(n.ID()),
-		branches:  make(map[string]*Branch),
-	}
-	n.addGroup(af.Key(), m)
-	n.addJoining(af.Key(), m)
-	n.indexSub(sub)
-	n.startJoin(m)
-	return nil
-}
-
-// setActive marks a membership settled and clears its retry tracking.
-func (n *Node) setActive(m *membership) {
-	m.state = stateActive
-	m.retries = 0
-	n.removeJoining(m.af.Key())
-}
-
-// setJoining marks a membership as walking (initial join or re-attach).
-func (n *Node) setJoining(m *membership) {
-	m.state = stateJoining
-	n.addJoining(m.af.Key(), m)
-}
-
-// dropMembership removes a membership from all indexes. Subscriptions the
-// membership still carries stay registered in the delivery index; callers
-// discarding them for good (root dissolution) deindex explicitly.
-func (n *Node) dropMembership(key string) {
-	n.removeGroup(key)
-	n.removeJoining(key)
+	return n.mem.subscribe(sub)
 }
 
 // Unsubscribe withdraws one previously registered subscription. When the
 // last subscription behind a membership goes, the node leaves the group.
 func (n *Node) Unsubscribe(sub filter.Subscription) error {
-	filters, err := filter.SubscriptionFilters(sub)
-	if err != nil {
-		return err
-	}
-	af := filters[0]
-	m, ok := n.groups[af.Key()]
-	if !ok {
-		return fmt.Errorf("core: not subscribed with filter %v", af)
-	}
-	want := sub.String()
-	found := false
-	for i, s := range m.subs {
-		if s.String() == want {
-			m.subs = append(m.subs[:i], m.subs[i+1:]...)
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("core: subscription %v not found", sub)
-	}
-	n.unindexSub(sub)
-	if len(m.subs) == 0 {
-		n.leaveGroup(m)
-	}
-	return nil
+	return n.mem.unsubscribe(sub)
 }
 
 // Publish injects an event into the overlay under the given id: one
 // publication per attribute tree the event touches (paper §4.1).
 func (n *Node) Publish(id EventID, ev filter.Event) error {
-	if len(ev) == 0 {
-		return errors.New("core: empty event")
-	}
-	for _, as := range ev {
-		msg := publishTree{ID: id, Event: ev, Attr: as.Attr, Mode: n.cfg.Traversal}
-		switch n.cfg.Traversal {
-		case Generic:
-			contact, ok := n.cfg.Directory.Contact(as.Attr, n.env.Rand())
-			if !ok {
-				continue // no tree: no subscriber cares about this attribute
-			}
-			msg.Up = true
-			n.sendOrLocal(contact, msg)
-		default:
-			owner, ok := n.cfg.Directory.Owner(as.Attr)
-			if !ok {
-				continue
-			}
-			msg.AF = filter.UniversalFilter(as.Attr)
-			n.sendOrLocal(owner, msg)
-		}
-	}
-	return nil
+	return n.dis.publish(id, ev)
 }
 
-// OnMessage implements sim.Process.
+// OnMessage implements sim.Process: liveness bookkeeping, kernel
+// dispatch, then the self-message drain.
 func (n *Node) OnMessage(from sim.NodeID, msg any) {
-	n.lastSeen[from] = n.env.Now()
-	if n.suspected[from] {
-		delete(n.suspected, from) // peer came back: stop suspecting
+	n.st.lastSeen[from] = n.st.env.Now()
+	if n.st.suspected[from] {
+		delete(n.st.suspected, from) // peer came back: stop suspecting
 	}
 	n.dispatch(from, msg)
 	n.drainSelf()
 }
 
-// dispatch routes one message to its handler.
-func (n *Node) dispatch(from sim.NodeID, msg any) {
-	switch m := msg.(type) {
-	case findGroup:
-		n.handleFindGroup(m)
-	case joinAccept:
-		n.handleJoinAccept(from, m)
-	case createGroup:
-		n.handleCreateGroup(from, m)
-	case joinNotify:
-		n.handleJoinNotify(m)
-	case gossipSub:
-		n.handleGossipSub(m)
-	case adopt:
-		n.handleAdopt(m)
-	case coLeaderUpdate:
-		n.handleCoLeaderUpdate(from, m)
-	case publishTree:
-		n.handlePublishTree(m)
-	case publishGroup:
-		n.handlePublishGroup(from, m)
-	case heartbeat:
-		// Leader-mode detection is push-based and silent on the receiving
-		// side; only epidemic probing expects an answer.
-		if n.cfg.Comm == Epidemic {
-			n.send(from, heartbeatAck{})
-		}
-	case heartbeatAck:
-		// lastSeen already refreshed above
-	case viewExchange:
-		n.handleViewExchange(from, m)
-	case leave:
-		n.handleLeave(m)
-	case branchUpdate:
-		n.handleBranchUpdate(m)
-	case rehome:
-		n.handleRehome(m)
-	case rootInvite:
-		n.handleRootInvite(m)
-	}
-}
-
 // OnTick implements sim.Process: heartbeats, suspicion checks, join
-// retries, pending-publication expiry, anti-entropy.
+// retries, pending-publication expiry, anti-entropy. The calling order is
+// part of the determinism contract — it must match the pre-kernel
+// monolith step for step.
 func (n *Node) OnTick() {
-	now := n.env.Now()
-	if now >= n.nextHB {
-		n.heartbeatRound(now)
-		n.nextHB = now + n.hbPeriod()
+	now := n.st.env.Now()
+	if now >= n.rep.nextHB {
+		n.rep.heartbeatRound(now)
+		n.rep.nextHB = now + n.rep.hbPeriod()
 	}
-	n.retryJoins(now)
-	n.expirePending(now)
-	n.gossipHot(now)
+	n.mem.retryJoins(now)
+	n.dis.expirePending(now)
+	n.dis.gossipHot(now)
 	n.drainSelf()
-	if n.cfg.ViewExchangePeriod > 0 && now%n.cfg.ViewExchangePeriod == int64(n.ID())%n.cfg.ViewExchangePeriod {
-		n.viewExchangeRound()
+	if n.st.cfg.ViewExchangePeriod > 0 && now%n.st.cfg.ViewExchangePeriod == int64(n.ID())%n.st.cfg.ViewExchangePeriod {
+		n.rep.viewExchangeRound()
 	}
 	n.gcSeen(now)
 }
 
-// send is the single egress point. Self-addressed messages — a leader
-// that is also the tree owner updating "the parent", a co-leader
-// announcing to itself — queue locally and dispatch after the current
-// handler returns.
-func (n *Node) send(to sim.NodeID, msg any) {
-	if to == n.ID() {
-		n.selfQ = append(n.selfQ, msg)
-		return
-	}
-	n.env.Send(to, msg)
-}
-
-// drainSelf dispatches queued self-messages; handlers may queue more.
-func (n *Node) drainSelf() {
-	for len(n.selfQ) > 0 {
-		msg := n.selfQ[0]
-		n.selfQ = n.selfQ[1:]
-		n.dispatch(n.ID(), msg)
-	}
-}
-
-// sendOrLocal delivers locally when the target is self (publications may
-// enter the tree at the publisher itself).
-func (n *Node) sendOrLocal(to sim.NodeID, msg publishTree) {
-	if to == n.ID() {
-		n.handlePublishTree(msg)
-		return
-	}
-	n.env.Send(to, msg)
-}
-
-func (n *Node) hbPeriod() int64 {
-	span := n.cfg.HBMax - n.cfg.HBMin
-	if span <= 0 {
-		return n.cfg.HBMin
-	}
-	return n.cfg.HBMin + n.env.Rand().Int63n(span+1)
-}
-
+// gcSeen periodically expires the dedup memories of all subsystems.
 func (n *Node) gcSeen(now int64) {
-	if n.cfg.SeenTTL <= 0 || now%64 != 0 {
+	if n.st.cfg.SeenTTL <= 0 || now%64 != 0 {
 		return
 	}
-	for id, at := range n.seen {
-		if now-at > n.cfg.SeenTTL {
-			delete(n.seen, id)
-		}
-	}
-	for rk, at := range n.routed {
-		if now-at > n.cfg.SeenTTL {
-			delete(n.routed, rk)
-		}
-	}
-	for k, at := range n.rumours {
-		if now-at > n.cfg.SeenTTL {
-			delete(n.rumours, k)
-		}
-	}
-}
-
-// InspectBranches returns every branch this node holds across its
-// memberships, keyed by the child filter's canonical key (diagnostics).
-func (n *Node) InspectBranches() map[string][]sim.NodeID {
-	out := make(map[string][]sim.NodeID)
-	for _, m := range n.groups {
-		for key, b := range m.branches {
-			out[key] = append([]sim.NodeID(nil), b.Nodes...)
-		}
-	}
-	return out
+	n.dis.gcDedup(now)
+	n.mem.gcRumours(now)
 }

@@ -20,23 +20,23 @@ import (
 // delivery index holds precisely the node's live subscriptions.
 func assertOrderInvariants(t *testing.T, id sim.NodeID, n *Node) {
 	t.Helper()
-	wantGroups := make([]string, 0, len(n.groups))
-	for k := range n.groups {
+	wantGroups := make([]string, 0, len(n.st.groups))
+	for k := range n.st.groups {
 		wantGroups = append(wantGroups, k)
 	}
 	sort.Strings(wantGroups)
-	if !reflect.DeepEqual(append([]string{}, n.groupOrder...), wantGroups) {
-		t.Fatalf("node %d: groupOrder %q does not match sorted group keys %q", id, n.groupOrder, wantGroups)
+	if !reflect.DeepEqual(append([]string{}, n.st.groupOrder...), wantGroups) {
+		t.Fatalf("node %d: groupOrder %q does not match sorted group keys %q", id, n.st.groupOrder, wantGroups)
 	}
-	wantJoin := make([]string, 0, len(n.joining))
-	for k := range n.joining {
+	wantJoin := make([]string, 0, len(n.st.joining))
+	for k := range n.st.joining {
 		wantJoin = append(wantJoin, k)
 	}
 	sort.Strings(wantJoin)
-	if !reflect.DeepEqual(append([]string{}, n.joinOrder...), wantJoin) {
-		t.Fatalf("node %d: joinOrder %q does not match sorted joining keys %q", id, n.joinOrder, wantJoin)
+	if !reflect.DeepEqual(append([]string{}, n.st.joinOrder...), wantJoin) {
+		t.Fatalf("node %d: joinOrder %q does not match sorted joining keys %q", id, n.st.joinOrder, wantJoin)
 	}
-	for gk, m := range n.groups {
+	for gk, m := range n.st.groups {
 		wantBranches := make([]string, 0, len(m.branches))
 		for k := range m.branches {
 			wantBranches = append(wantBranches, k)
@@ -49,7 +49,7 @@ func assertOrderInvariants(t *testing.T, id sim.NodeID, n *Node) {
 	}
 	// Delivery index ⇔ live subscriptions, as multisets of identities.
 	indexed := map[string]int{}
-	for attr, list := range n.subsByAttr {
+	for attr, list := range n.st.subsByAttr {
 		if len(list) == 0 {
 			t.Fatalf("node %d: empty delivery-index bucket for %q", id, attr)
 		}
@@ -62,7 +62,7 @@ func assertOrderInvariants(t *testing.T, id sim.NodeID, n *Node) {
 		}
 	}
 	live := map[string]int{}
-	for _, m := range n.groups {
+	for _, m := range n.st.groups {
 		for _, sub := range m.subs {
 			live[sub.String()]++
 		}

@@ -5,12 +5,13 @@ import (
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
-// This file implements the self-healing machinery of §4.3: heartbeat-based
-// failure detection over the view structures, co-leader promotion on
-// leader crashes, predview/succview repair, tree-root reclamation, and the
+// The repair subsystem implements the self-* machinery of §4.3:
+// heartbeat-based failure detection over the view structures, co-leader
+// promotion on leader crashes, predview/succview repair, tree-root
+// reclamation, re-parenting (adopt/rehome), co-owner recruitment, and the
 // periodic view-exchange ("merge") process that reconciles duplicate
 // groups created by concurrency.
-
+//
 // Failure detection (§4.3) differs by communication mode.
 //
 // Leader mode is push-based and asymmetric, keeping regular members silent
@@ -25,11 +26,43 @@ import (
 // Epidemic mode is probe-based and symmetric: every member probes its view
 // neighbours, which answer with acks.
 
+// repairSys owns liveness judgement and structural healing. It shares
+// node state through the embedded *state; the heartbeat clock and scratch
+// view are private to it. Re-walks go through the membership subsystem.
+type repairSys struct {
+	*state
+	mem *membershipSys // re-walks, probes, neighbour refresh
+
+	nextHB int64
+	// hbScratch is the reusable peer set built by heartbeatSendTargets and
+	// expectedPeers each round; its id list is valid only until the next
+	// reset and must not be retained.
+	hbScratch *view
+}
+
+// handleHeartbeat processes a liveness probe. Leader-mode detection is
+// push-based and silent on the receiving side; only epidemic probing
+// expects an answer.
+func (n *repairSys) handleHeartbeat(from sim.NodeID) {
+	if n.cfg.Comm == Epidemic {
+		n.send(from, heartbeatAck{})
+	}
+}
+
+// hbPeriod draws the node's next heartbeat period.
+func (n *repairSys) hbPeriod() int64 {
+	span := n.cfg.HBMax - n.cfg.HBMin
+	if span <= 0 {
+		return n.cfg.HBMin
+	}
+	return n.cfg.HBMin + n.env.Rand().Int63n(span+1)
+}
+
 // heartbeatSendTargets collects the peers this node actively heartbeats.
 // The result aliases the node's heartbeat scratch view: it is valid only
 // until the next heartbeatSendTargets/expectedPeers call and must not be
 // retained.
-func (n *Node) heartbeatSendTargets() []sim.NodeID {
+func (n *repairSys) heartbeatSendTargets() []sim.NodeID {
 	set := n.hbScratch
 	set.reset()
 	for _, key := range n.groupOrder {
@@ -75,7 +108,7 @@ func (n *Node) heartbeatSendTargets() []sim.NodeID {
 // expectedPeers collects the peers whose periodic traffic this node
 // relies on for liveness judgement. Like heartbeatSendTargets, the result
 // aliases the heartbeat scratch view and must not be retained.
-func (n *Node) expectedPeers() []sim.NodeID {
+func (n *repairSys) expectedPeers() []sim.NodeID {
 	set := n.hbScratch
 	set.reset()
 	for _, key := range n.groupOrder {
@@ -129,7 +162,7 @@ func min1(n int) int {
 }
 
 // heartbeatRound sends this node's probes and judges expected peers.
-func (n *Node) heartbeatRound(now int64) {
+func (n *repairSys) heartbeatRound(now int64) {
 	for _, peer := range n.heartbeatSendTargets() {
 		n.send(peer, heartbeat{})
 	}
@@ -169,7 +202,7 @@ func (n *Node) heartbeatRound(now int64) {
 // handleFailure repairs every structure that referenced the dead peer
 // ("if one node has failed, it is immediately replaced by pulling a view
 // update from the other alive nodes").
-func (n *Node) handleFailure(peer sim.NodeID) {
+func (n *repairSys) handleFailure(peer sim.NodeID) {
 	// Purge the dead peer from the entry-point registry of the trees we
 	// know about.
 	seen := map[string]bool{}
@@ -222,19 +255,10 @@ func (n *Node) handleFailure(peer sim.NodeID) {
 	}
 }
 
-func has(ids []sim.NodeID, id sim.NodeID) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
-}
-
 // replaceLeader runs the co-leader promotion protocol after a leader
 // crash. Only the designated successor acts; other members wait for its
 // announcement (and fall back to re-attachment if none comes).
-func (n *Node) replaceLeader(m *membership) {
+func (n *repairSys) replaceLeader(m *membership) {
 	m.leader = 0
 	successor, ok := m.coLeaders.first()
 	if !ok {
@@ -279,21 +303,114 @@ func (n *Node) replaceLeader(m *membership) {
 	for _, cl := range m.coLeaders.ids() {
 		n.send(cl, full)
 	}
-	n.notifyNeighboursOfContacts(m, append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...))
+	n.mem.notifyNeighboursOfContacts(m, append([]sim.NodeID{n.ID()}, m.coLeaders.ids()...))
+}
+
+// broadcastCoLeaders tells every member the current leadership (leader
+// mode; members only track leaders and co-leaders).
+func (n *repairSys) broadcastCoLeaders(m *membership) {
+	msg := coLeaderUpdate{AF: m.af, Leader: m.leader, CoLeaders: m.coLeaders.ids()}
+	for _, id := range m.members.ids() {
+		n.send(id, msg)
+	}
+}
+
+// maybeRecruitCoOwner enlists early subscribers of a tree as co-owners:
+// mirrors of the root group that keep routing and ownership alive when the
+// owner crashes. The root of a DPS tree is a group like any other; a
+// singleton root would be a single point of failure for generic
+// up-routing.
+func (n *repairSys) maybeRecruitCoOwner(m *membership, sub sim.NodeID) {
+	if !m.isRoot || n.cfg.Comm != LeaderBased || !m.isLeaderHere(n.ID()) ||
+		sub == n.ID() || m.coLeaders.has(sub) || m.coLeaders.len() >= n.cfg.Kc {
+		return
+	}
+	m.coLeaders.add(sub)
+	m.members.add(sub)
+	n.send(sub, rootInvite{
+		Attr:      m.af.Attr(),
+		Leader:    n.ID(),
+		CoLeaders: m.coLeaders.ids(),
+		Members:   m.members.ids(),
+		Branches:  m.branchList(),
+	})
+}
+
+// handleRootInvite installs a co-owner mirror of the tree root.
+func (n *repairSys) handleRootInvite(msg rootInvite) {
+	af := filter.UniversalFilter(msg.Attr)
+	m, ok := n.groups[af.Key()]
+	if !ok {
+		m = &membership{
+			af:        af,
+			state:     stateActive,
+			coLeaders: newView(),
+			members:   newView(n.ID()),
+			branches:  make(map[string]*Branch),
+			isRoot:    true,
+		}
+		n.addGroup(af.Key(), m)
+	}
+	m.leader = msg.Leader
+	m.leaderlessAt = 0
+	m.coLeaders = newView(msg.CoLeaders...)
+	for _, id := range msg.Members {
+		m.members.add(id)
+	}
+	for _, b := range msg.Branches {
+		if _, dup := m.branches[b.AF.Key()]; !dup {
+			nb := cloneBranch(b)
+			m.setBranch(b.AF.Key(), &nb)
+		}
+	}
+}
+
+// handleAdopt re-parents this node's group.
+func (n *repairSys) handleAdopt(msg adopt) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	m.parent = msg.NewParent
+}
+
+// handleCoLeaderUpdate installs the announced leader/co-leader set.
+func (n *repairSys) handleCoLeaderUpdate(_ sim.NodeID, msg coLeaderUpdate) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	if msg.Leader != 0 && n.suspected[msg.Leader] {
+		return // stale announcement naming a peer we know is dead
+	}
+	m.leader = msg.Leader
+	m.leaderlessAt = 0
+	m.coLeaders = n.liveView(msg.CoLeaders)
+}
+
+// handleRehome re-walks this group from the current owner (duplicate-tree
+// merge).
+func (n *repairSys) handleRehome(msg rehome) {
+	m, ok := n.groups[msg.AF.Key()]
+	if !ok {
+		return
+	}
+	n.setJoining(m)
+	n.mem.startJoin(m)
 }
 
 // reattach re-runs the placement walk for a group this node already
 // belongs to (lost predecessor). The walk terminates in joinAccept (another
 // replica of the group exists — merge) or createGroup (fresh spot).
-func (n *Node) reattach(m *membership) {
+func (n *repairSys) reattach(m *membership) {
 	n.setJoining(m)
-	n.startJoin(m)
+	n.mem.startJoin(m)
 }
 
 // demoteInto resolves a duplicate-group merge against a lower-id leader:
 // this node stops leading, points its members at the winner, and ships its
 // whole state over so the winner's groupview absorbs this instance.
-func (n *Node) demoteInto(m *membership, winner sim.NodeID, winnerCoLead []sim.NodeID) {
+func (n *repairSys) demoteInto(m *membership, winner sim.NodeID, winnerCoLead []sim.NodeID) {
 	m.leader = winner
 	m.leaderlessAt = 0
 	mine := m.members.ids()
@@ -317,7 +434,7 @@ func (n *Node) demoteInto(m *membership, winner sim.NodeID, winnerCoLead []sim.N
 
 // reclaimRoots claims ownership of trees whose owner died, re-rooting our
 // top-level groups there ("self-healing ... preserved at any time").
-func (n *Node) reclaimRoots(dead sim.NodeID) {
+func (n *repairSys) reclaimRoots(dead sim.NodeID) {
 	attrs := map[string]bool{}
 	for _, key := range n.groupOrder {
 		m := n.groups[key]
@@ -342,7 +459,7 @@ func (n *Node) reclaimRoots(dead sim.NodeID) {
 			}
 		}
 		n.cfg.Directory.ReplaceOwner(attr, n.ID())
-		n.ensureRoot(attr)
+		n.mem.ensureRoot(attr)
 		// Re-walk all our groups of that tree under the new root; the
 		// re-walks run synchronously and may mutate groups — snapshot.
 		for _, key := range n.snapshotGroupKeys() {
@@ -358,7 +475,7 @@ func (n *Node) reclaimRoots(dead sim.NodeID) {
 // samples to group members and succview contacts; receiving a view about a
 // group with the same filter merges memberships (duplicate-group merge)
 // and refreshes contacts.
-func (n *Node) viewExchangeRound() {
+func (n *repairSys) viewExchangeRound() {
 	// Probes and root checks inside the loop can create, drop or re-key
 	// memberships synchronously: iterate a snapshot and re-check entries.
 	for _, key := range n.snapshotGroupKeys() {
@@ -368,7 +485,7 @@ func (n *Node) viewExchangeRound() {
 		}
 		msg := viewExchange{
 			AF:       m.af,
-			Members:  n.memberSample(m),
+			Members:  n.mem.memberSample(m),
 			Parent:   cloneBranch(m.parent),
 			Branches: m.branchList(),
 			Leader:   m.leader,
@@ -433,7 +550,7 @@ func (n *Node) viewExchangeRound() {
 }
 
 // sendProbe launches a probe walk for the group's canonical position.
-func (n *Node) sendProbe(m *membership) {
+func (n *repairSys) sendProbe(m *membership) {
 	attr := m.af.Attr()
 	owner, ok := n.cfg.Directory.Owner(attr)
 	if !ok {
@@ -441,7 +558,7 @@ func (n *Node) sendProbe(m *membership) {
 	}
 	f := findGroup{AF: m.af, Subscriber: n.ID(), Mode: n.cfg.Traversal, Probe: true}
 	if owner == n.ID() {
-		n.localFindGroup(f)
+		n.mem.localFindGroup(f)
 		return
 	}
 	n.send(owner, f)
@@ -449,7 +566,7 @@ func (n *Node) sendProbe(m *membership) {
 
 // checkRootStillOwned dissolves our root membership if the directory now
 // names someone else, telling our top-level branches to re-walk there.
-func (n *Node) checkRootStillOwned(m *membership) {
+func (n *repairSys) checkRootStillOwned(m *membership) {
 	if !m.isLeaderHere(n.ID()) {
 		return // co-owner mirrors never dissolve the root
 	}
@@ -477,7 +594,7 @@ func (n *Node) checkRootStillOwned(m *membership) {
 }
 
 // handleViewExchange merges a received view sample into local state.
-func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
+func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 	m, ok := n.groups[msg.AF.Key()]
 	if ok && m.state == stateActive {
 		// Same group: union memberships (this is what merges duplicate
@@ -537,7 +654,7 @@ func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
 		if !msg.Reply {
 			reply := viewExchange{
 				AF:       m.af,
-				Members:  n.memberSample(m),
+				Members:  n.mem.memberSample(m),
 				Parent:   cloneBranch(m.parent),
 				Branches: m.branchList(),
 				Leader:   m.leader,
@@ -554,7 +671,7 @@ func (n *Node) handleViewExchange(from sim.NodeID, msg viewExchange) {
 	// pointers — and relay the update to our primary contact for the
 	// branch, so duplicate instances of the same group come into contact
 	// and merge (§4.2.2's merge process runs through the predecessor).
-	if pm := n.membershipWithBranch(msg.AF); pm != nil {
+	if pm := n.mem.membershipWithBranch(msg.AF); pm != nil {
 		b := pm.branches[msg.AF.Key()]
 		primary, hadPrimary := b.first()
 		fresh := append([]sim.NodeID{from}, msg.Members...)

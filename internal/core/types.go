@@ -392,8 +392,8 @@ type publishGroup struct {
 }
 
 // heartbeat probes a monitored peer; heartbeatAck answers it. The Seq
-// field exists for the wire: encoding/gob refuses types with no exported
-// fields.
+// field is reserved wire space (currently always zero): it predates the
+// binary codec and is kept so the golden wire vectors stay stable.
 type heartbeat struct{ Seq int64 }
 type heartbeatAck struct{ Seq int64 }
 

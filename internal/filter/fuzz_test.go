@@ -1,0 +1,72 @@
+package filter
+
+import (
+	"testing"
+)
+
+// Native fuzz targets for the text parsers. The invariants are the
+// documented contracts: parsing never panics, and anything that parses
+// re-renders through String into a form that parses back to the same
+// canonical rendering (parse∘String is idempotent on parser output).
+
+func FuzzParseSubscription(f *testing.F) {
+	for _, seed := range []string{
+		"a>2 && a<20 && c=ab*",
+		"price>=100 && price<=200",
+		`sym="IBM"`,
+		"b=**",
+		"x=*y*",
+		"name=*ore",
+		`q="x && y"`,
+		`v="he\"llo"*`,
+		"a >= -9223372036854775808",
+		"a<9223372036854775807 && a>0 && a=5",
+		"  spaced  > 4 ",
+		`u="&&"`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sub, err := ParseSubscription(s)
+		if err != nil {
+			return // rejected input is fine; panics are the failure mode
+		}
+		rendered := sub.String()
+		again, err := ParseSubscription(rendered)
+		if err != nil {
+			t.Fatalf("String output %q (from input %q) does not re-parse: %v", rendered, s, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("parse∘String not idempotent:\n  input:  %q\n  first:  %q\n  second: %q", s, rendered, got)
+		}
+	})
+}
+
+func FuzzParseEvent(f *testing.F) {
+	for _, seed := range []string{
+		"price=150, sym=acme",
+		"a=4, b=10, c=abc",
+		`msg="hello, world", n=-3`,
+		`q="quote\"inside"`,
+		"a=9223372036854775807",
+		"a=-9223372036854775808",
+		" x = 1 , y = z ",
+		`u=","`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ev, err := ParseEvent(s)
+		if err != nil {
+			return
+		}
+		rendered := ev.String()
+		again, err := ParseEvent(rendered)
+		if err != nil {
+			t.Fatalf("String output %q (from input %q) does not re-parse: %v", rendered, s, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("parse∘String not idempotent:\n  input:  %q\n  first:  %q\n  second: %q", s, rendered, got)
+		}
+	})
+}

@@ -22,9 +22,10 @@ import (
 )
 
 // ParseSubscription parses the textual form of a subscription, e.g.
-// "a>2 && a<20 && c=ab*".
+// "a>2 && a<20 && c=ab*". The separator is only recognised outside
+// quoted operands, so `a="x && y"` stays one predicate.
 func ParseSubscription(s string) (Subscription, error) {
-	parts := strings.Split(s, "&&")
+	parts := splitOutsideQuotes(s, "&&")
 	preds := make([]Predicate, 0, len(parts))
 	for _, part := range parts {
 		p, err := ParsePredicate(strings.TrimSpace(part))
@@ -86,8 +87,15 @@ func splitPredicate(s string) (attr, op, rest string, err error) {
 }
 
 func validAttr(attr, whole string) error {
-	if strings.TrimSpace(attr) == "" {
+	attr = strings.TrimSpace(attr)
+	if attr == "" {
 		return fmt.Errorf("predicate %q: empty attribute name", whole)
+	}
+	if strings.Contains(attr, `"`) {
+		// A quote in an attribute name cannot round-trip through the
+		// rendered syntax (names are never quoted, so the quote would
+		// pair with a value delimiter on re-parse).
+		return fmt.Errorf("predicate %q: attribute name must not contain quotes", whole)
 	}
 	return nil
 }
@@ -137,11 +145,53 @@ func unquote(s string) (string, error) {
 	return "", fmt.Errorf("not quoted")
 }
 
+// splitOutsideQuotes splits s on sep, ignoring separators inside
+// double-quoted operands (with backslash escapes), so quoted values may
+// contain the separator text. Two rules keep bare-word operands that
+// merely contain a stray quote (`a=x"y`) parsing exactly as they always
+// did: a quote only opens a quoted section at a value position (the last
+// meaningful byte before it was `=` or a wildcard `*`), and a string
+// whose quoting never closes is not quote-structured at all and falls
+// back to the plain split.
+func splitOutsideQuotes(s, sep string) []string {
+	var parts []string
+	start := 0
+	inQuote := false
+	last := byte(0) // last non-space byte seen outside quoted sections
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote:
+			if c == '\\' {
+				i++ // skip the escaped byte
+			} else if c == '"' {
+				inQuote = false
+			}
+		case c == '"' && (last == '=' || last == '*'):
+			inQuote = true
+		case strings.HasPrefix(s[i:], sep):
+			parts = append(parts, s[start:i])
+			i += len(sep) - 1
+			start = i + 1
+			last = 0
+		default:
+			if c != ' ' && c != '\t' {
+				last = c
+			}
+		}
+	}
+	if inQuote {
+		return strings.Split(s, sep)
+	}
+	return append(parts, s[start:])
+}
+
 // ParseEvent parses the textual form of an event, e.g. `a=4, b=10, c=abc`.
 // Assignments are separated by commas; values may be integers, quoted
-// strings or bare words (strings).
+// strings or bare words (strings). Commas inside quoted values do not
+// separate.
 func ParseEvent(s string) (Event, error) {
-	parts := strings.Split(s, ",")
+	parts := splitOutsideQuotes(s, ",")
 	assigns := make([]Assignment, 0, len(parts))
 	for _, part := range parts {
 		part = strings.TrimSpace(part)
@@ -150,6 +200,9 @@ func ParseEvent(s string) (Event, error) {
 			return nil, fmt.Errorf("filter: event assignment %q must be attr=value", part)
 		}
 		attr := strings.TrimSpace(part[:i])
+		if err := validAttr(attr, part); err != nil {
+			return nil, fmt.Errorf("filter: event assignment: %w", err)
+		}
 		raw := strings.TrimSpace(part[i+1:])
 		var v Value
 		if unq, err := unquote(raw); err == nil {

@@ -123,3 +123,65 @@ func TestParseRoundTrip(t *testing.T) {
 		t.Errorf("event round trip = %q, want %q", gotEv, ev)
 	}
 }
+
+// TestSplitQuoteAwareness pins the quote-aware separator handling and its
+// two safety rules: quoted values may contain separators, while bare-word
+// operands with stray quotes keep their historical (plain-split) parse
+// instead of silently merging parts.
+func TestSplitQuoteAwareness(t *testing.T) {
+	// Quoted values containing separators stay whole.
+	ev, err := ParseEvent(`msg="hello, world", n=3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("quoted comma: got %d assignments, want 2: %v", len(ev), ev)
+	}
+	if v, _ := ev.Value("msg"); v.Str != "hello, world" {
+		t.Fatalf("msg = %q", v.Str)
+	}
+	sub, err := ParseSubscription(`q="x && y" && n>2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 {
+		t.Fatalf("quoted &&: got %d predicates, want 2: %v", len(sub), sub)
+	}
+
+	// A stray quote inside a bare-word value must not swallow later
+	// parts (historical behaviour: plain split).
+	ev, err = ParseEvent(`a=va"l, b=2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("stray quote: got %d assignments, want 2: %v", len(ev), ev)
+	}
+	if v, ok := ev.Value("b"); !ok || v.Int != 2 {
+		t.Fatalf("b lost to the stray quote: %v", ev)
+	}
+	ev, err = ParseEvent(`a=x"y, b=z"w`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("balanced stray quotes: got %d assignments, want 2: %v", len(ev), ev)
+	}
+	sub, err = ParseSubscription(`a=x"y && b>1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 {
+		t.Fatalf("stray quote in subscription: got %d predicates, want 2: %v", len(sub), sub)
+	}
+
+	// Unterminated quote at a value position: plain-split fallback, so
+	// later assignments survive.
+	ev, err = ParseEvent(`a="x, b=2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ev.Value("b"); !ok || v.Int != 2 {
+		t.Fatalf("b lost to the unterminated quote: %v", ev)
+	}
+}

@@ -1,60 +1,290 @@
 package filter
 
-// Wire encoding for AttrFilter: its fields are unexported (construction
-// must go through canonicalisation), so cross-process transports
-// (internal/tcpnet) serialise it via encoding.BinaryMarshaler, which
-// encoding/gob honours transparently.
+// Binary wire encoding for the content model (predicates, attribute
+// filters, events), built on the primitives of internal/wire. The fields
+// of AttrFilter are unexported (construction must go through
+// canonicalisation), so cross-process transports serialise it through
+// these functions; decoding re-runs canonicalisation, which both validates
+// untrusted input and restores the memoized keys.
+//
+// The encoding is versioned at the frame layer (internal/core's message
+// codec); within a message the layout here is fixed:
+//
+//	Predicate  = attr:string op:byte type:byte int:varint str:string
+//	AttrFilter = attr:string kind:byte [preds:list<Predicate> when kind=0]
+//	Value      = type:byte (int:varint | str:string)
+//	Event      = list<attr:string value:Value>
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"sync"
+
+	"github.com/dps-overlay/dps/internal/wire"
 )
 
-// attrFilterWire mirrors AttrFilter with exported fields for gob.
-type attrFilterWire struct {
-	Attr      string
-	Preds     []Predicate
-	Empty     bool
-	Universal bool
+// AttrFilter kind bytes on the wire.
+const (
+	wireFilterPlain     = 0 // predicate list follows (possibly empty: bare attr)
+	wireFilterUniversal = 1
+	wireFilterEmpty     = 2
+)
+
+// AppendWire appends the predicate's wire encoding.
+func (p Predicate) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, p.Attr)
+	dst = wire.AppendByte(dst, byte(p.Op))
+	dst = wire.AppendByte(dst, byte(p.Type))
+	dst = wire.AppendVarint(dst, p.Int)
+	return wire.AppendString(dst, p.Str)
+}
+
+// ConsumePredicate decodes one predicate. Validation (operator/type
+// consistency) happens when the surrounding filter is re-canonicalised;
+// structural failures latch into r.
+func ConsumePredicate(r *wire.Reader) Predicate {
+	var p Predicate
+	p.Attr = r.String()
+	p.Op = Op(r.Byte())
+	p.Type = Type(r.Byte())
+	p.Int = r.Varint()
+	p.Str = r.String()
+	return p
+}
+
+// AppendWire appends the filter's wire encoding.
+func (f AttrFilter) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, f.attr)
+	switch {
+	case f.universal:
+		return wire.AppendByte(dst, wireFilterUniversal)
+	case f.empty:
+		return wire.AppendByte(dst, wireFilterEmpty)
+	default:
+		dst = wire.AppendByte(dst, wireFilterPlain)
+		dst = wire.AppendUvarint(dst, uint64(len(f.preds)))
+		for i := range f.preds {
+			dst = f.preds[i].AppendWire(dst)
+		}
+		return dst
+	}
+}
+
+// filterIntern caches decoded filters by their exact encoded bytes. The
+// overlay ships the same few group labels on almost every message, so a
+// decode is usually a map hit instead of a canonicalisation pass — this
+// is what lets the binary codec beat gob on decode allocations too.
+// AttrFilters are immutable values, so sharing across connections (and
+// goroutines) is safe. Memory is bounded on both axes under adversarial
+// filter churn: the cache resets when it reaches filterInternMax
+// entries, and spans longer than filterInternMaxSpan are never interned
+// (an honest group label is tens of bytes; a hostile peer streaming
+// distinct near-MaxFrame filters would otherwise pin GiBs), capping
+// resident cache memory at roughly filterInternMax × filterInternMaxSpan.
+var filterIntern struct {
+	sync.RWMutex
+	m map[string]AttrFilter
+}
+
+const (
+	filterInternMax     = 4096
+	filterInternMaxSpan = 1 << 10
+)
+
+func init() {
+	filterIntern.m = make(map[string]AttrFilter, 256)
+}
+
+// ConsumeAttrFilter decodes one attribute filter, re-canonicalising the
+// predicate set (through the intern cache for repeated encodings).
+// Malformed input latches an error into r and returns the zero filter.
+func ConsumeAttrFilter(r *wire.Reader) AttrFilter {
+	// First pass: scan the filter's extent without allocating, so the
+	// encoded span itself can key the intern cache.
+	start := r.Offset()
+	skipAttrFilter(r)
+	if r.Err() != nil {
+		return AttrFilter{}
+	}
+	span := r.Span(start)
+	cacheable := len(span) <= filterInternMaxSpan
+	if cacheable {
+		filterIntern.RLock()
+		f, ok := filterIntern.m[string(span)] // no alloc: map lookup on []byte→string
+		filterIntern.RUnlock()
+		if ok {
+			return f
+		}
+	}
+	// Miss (or an outsized span we refuse to retain): decode for real.
+	rr := wire.NewReader(span)
+	f := decodeAttrFilter(rr)
+	if err := rr.Err(); err != nil {
+		r.Fail(err)
+		return AttrFilter{}
+	}
+	if cacheable {
+		filterIntern.Lock()
+		if len(filterIntern.m) >= filterInternMax {
+			filterIntern.m = make(map[string]AttrFilter, 256)
+		}
+		filterIntern.m[string(span)] = f
+		filterIntern.Unlock()
+	}
+	return f
+}
+
+// skipAttrFilter advances r over one encoded filter without decoding it.
+func skipAttrFilter(r *wire.Reader) {
+	r.SkipString() // attr
+	kind := r.Byte()
+	if r.Err() != nil {
+		return
+	}
+	switch kind {
+	case wireFilterUniversal, wireFilterEmpty:
+	case wireFilterPlain:
+		n := r.ListLen()
+		for i := 0; i < n; i++ {
+			r.SkipString() // attr
+			r.Byte()       // op
+			r.Byte()       // type
+			r.Varint()     // int operand
+			r.SkipString() // string operand
+		}
+	default:
+		r.Fail(fmt.Errorf("filter: unknown attribute filter kind %d", kind))
+	}
+}
+
+// decodeAttrFilter performs the actual decode of one filter encoding.
+func decodeAttrFilter(r *wire.Reader) AttrFilter {
+	attr := r.String()
+	kind := r.Byte()
+	if r.Err() != nil {
+		return AttrFilter{}
+	}
+	switch kind {
+	case wireFilterUniversal:
+		return UniversalFilter(attr)
+	case wireFilterEmpty:
+		return emptyFilter(attr)
+	case wireFilterPlain:
+		// A predicate occupies at least 5 bytes on the wire.
+		n := r.ListLenSized(5)
+		if r.Err() != nil {
+			return AttrFilter{}
+		}
+		if n == 0 {
+			// The zero filter (or a bare attribute) travels as an empty
+			// predicate set.
+			return AttrFilter{attr: attr}
+		}
+		preds := make([]Predicate, 0, wire.CapHint(n, 32))
+		for i := 0; i < n; i++ {
+			preds = append(preds, ConsumePredicate(r))
+		}
+		if r.Err() != nil {
+			return AttrFilter{}
+		}
+		f, err := NewAttrFilter(attr, preds)
+		if err != nil {
+			r.Fail(fmt.Errorf("filter: decoding attribute filter: %w", err))
+			return AttrFilter{}
+		}
+		return f
+	default:
+		r.Fail(fmt.Errorf("filter: unknown attribute filter kind %d", kind))
+		return AttrFilter{}
+	}
+}
+
+// AppendWire appends the value's wire encoding.
+func (v Value) AppendWire(dst []byte) []byte {
+	dst = wire.AppendByte(dst, byte(v.Type))
+	if v.Type == TypeString {
+		return wire.AppendString(dst, v.Str)
+	}
+	return wire.AppendVarint(dst, v.Int)
+}
+
+// ConsumeValue decodes one value.
+func ConsumeValue(r *wire.Reader) Value {
+	var v Value
+	v.Type = Type(r.Byte())
+	if v.Type == TypeString {
+		v.Str = r.String()
+	} else {
+		v.Int = r.Varint()
+	}
+	return v
+}
+
+// AppendWire appends the event's wire encoding.
+func (e Event) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(e)))
+	for i := range e {
+		dst = wire.AppendString(dst, e[i].Attr)
+		dst = e[i].Val.AppendWire(dst)
+	}
+	return dst
+}
+
+// ConsumeEvent decodes one event, re-validating it (attribute uniqueness,
+// value types). A nil event travels as a zero-length list. Encoders
+// write events in canonical (sorted) attribute order, so the fast path
+// validates in place; an unsorted foreign encoding falls back to the
+// full NewEvent canonicalisation.
+func ConsumeEvent(r *wire.Reader) Event {
+	// An assignment occupies at least 3 bytes (attr + value type + operand).
+	n := r.ListLenSized(3)
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	assigns := make([]Assignment, 0, wire.CapHint(n, 64))
+	sorted := true
+	for i := 0; i < n; i++ {
+		attr := r.String()
+		val := ConsumeValue(r)
+		if i > 0 && attr <= assigns[i-1].Attr {
+			sorted = false
+		}
+		if attr == "" || (val.Type != TypeInt && val.Type != TypeString) {
+			r.Fail(fmt.Errorf("filter: decoding event: invalid assignment %q", attr))
+			return nil
+		}
+		assigns = append(assigns, Assignment{Attr: attr, Val: val})
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	if sorted {
+		return Event(assigns)
+	}
+	e, err := NewEvent(assigns...)
+	if err != nil {
+		r.Fail(fmt.Errorf("filter: decoding event: %w", err))
+		return nil
+	}
+	return e
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (f AttrFilter) MarshalBinary() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(attrFilterWire{
-		Attr:      f.attr,
-		Preds:     f.preds,
-		Empty:     f.empty,
-		Universal: f.universal,
-	}); err != nil {
-		return nil, fmt.Errorf("filter: encoding attribute filter: %w", err)
-	}
-	return buf.Bytes(), nil
+	return f.AppendWire(nil), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler. The payload is
-// trusted to be canonical (it was produced by MarshalBinary); malformed
-// predicate sets are re-canonicalised defensively.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Input is treated
+// as untrusted: malformed predicate sets are rejected or re-canonicalised,
+// and trailing bytes are an error.
 func (f *AttrFilter) UnmarshalBinary(data []byte) error {
-	var w attrFilterWire
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	r := wire.NewReader(data)
+	g := ConsumeAttrFilter(r)
+	if err := r.Err(); err != nil {
 		return fmt.Errorf("filter: decoding attribute filter: %w", err)
 	}
-	switch {
-	case w.Universal:
-		*f = UniversalFilter(w.Attr)
-	case w.Empty:
-		*f = emptyFilter(w.Attr)
-	case len(w.Preds) == 0:
-		*f = AttrFilter{} // zero filter travels as empty pred set
-		f.attr = w.Attr
-	default:
-		nf, err := NewAttrFilter(w.Attr, w.Preds)
-		if err != nil {
-			return fmt.Errorf("filter: decoding attribute filter: %w", err)
-		}
-		*f = nf
+	if !r.Done() {
+		return fmt.Errorf("filter: decoding attribute filter: %w", wire.ErrTrailingBytes)
 	}
+	*f = g
 	return nil
 }

@@ -1,0 +1,55 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/wire"
+)
+
+// TestFilterInternSkipsOversizedSpans pins the size bound on the
+// decoded-filter cache: a valid but enormous filter encoding must decode
+// without being retained, so a hostile peer streaming distinct large
+// filters cannot pin cache memory beyond
+// filterInternMax × filterInternMaxSpan.
+func TestFilterInternSkipsOversizedSpans(t *testing.T) {
+	big := MustAttrFilter("a", Contains("a", strings.Repeat("x", 4*filterInternMaxSpan)))
+	data := big.AppendWire(nil)
+	if len(data) <= filterInternMaxSpan {
+		t.Fatalf("test filter too small to exercise the bound: %d bytes", len(data))
+	}
+	filterIntern.Lock()
+	filterIntern.m = make(map[string]AttrFilter, 16)
+	filterIntern.Unlock()
+
+	r := wire.NewReader(data)
+	got := ConsumeAttrFilter(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != big.Key() {
+		t.Fatal("oversized filter decoded incorrectly")
+	}
+	filterIntern.RLock()
+	entries := len(filterIntern.m)
+	filterIntern.RUnlock()
+	if entries != 0 {
+		t.Fatalf("oversized span was interned (%d cache entries)", entries)
+	}
+
+	// Small filters still intern: second decode hits the cache.
+	small := MustAttrFilter("a", Gt("a", 2))
+	sdata := small.AppendWire(nil)
+	for i := 0; i < 2; i++ {
+		r := wire.NewReader(sdata)
+		if f := ConsumeAttrFilter(r); f.Key() != small.Key() || r.Err() != nil {
+			t.Fatalf("small filter decode %d failed: %v", i, r.Err())
+		}
+	}
+	filterIntern.RLock()
+	entries = len(filterIntern.m)
+	filterIntern.RUnlock()
+	if entries != 1 {
+		t.Fatalf("small filter not interned (%d cache entries)", entries)
+	}
+}

@@ -8,7 +8,10 @@
 // differs from a synchronous simulator: delivery is asynchronous, ordering
 // holds only per sender-receiver pair, and a full inbox drops messages
 // (back-pressure as loss, matching the protocol's tolerance for lossy
-// links).
+// links). Message payloads stay in-memory Go values end to end — the hub
+// routes them opaquely and the receiving node's kernel dispatch table
+// types them; only the TCP transport (internal/tcpnet) serialises, via
+// the core wire codec.
 package livenet
 
 import (

@@ -6,8 +6,12 @@
 //
 //   - the runtime *contract* between a protocol node and whatever engine
 //     drives it (Env, Process, NodeID) — the live goroutine runtime in
-//     internal/livenet implements the same contract, so protocol code is
-//     engine-agnostic ("sans-IO");
+//     internal/livenet and the TCP transport in internal/tcpnet implement
+//     the same contract, so protocol code is engine-agnostic ("sans-IO").
+//     Engines deliver opaque payloads; typing and routing happen inside
+//     the node, in internal/core's kernel dispatch table, so an engine
+//     never inspects message contents (tcpnet only re-encodes them
+//     through the core wire codec);
 //   - the cycle Engine itself: synchronous steps, per-hop latency of one
 //     step (configurable), optional message loss, crash injection, and
 //     deterministic execution for a given seed.

@@ -4,10 +4,12 @@ package tcpnet
 // the attribute→owner registry; every other node talks to it through a
 // DirectoryClient implementing core.Directory. This realises the paper's
 // "trees are connected among each other" bootstrap as a networked service
-// with the same pluggable interface the simulator uses.
+// with the same pluggable interface the simulator uses. Requests and
+// responses travel as the same length-prefixed, size-bounded binary
+// frames the transport uses (frame.go); a malformed frame terminates the
+// connection, which the client absorbs by re-dialing.
 
 import (
-	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
@@ -118,12 +120,16 @@ func (s *DirectoryServer) serve(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connMu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	fr := newFrameReader(conn)
+	var out []byte
 	for {
-		var req dirReq
-		if err := dec.Decode(&req); err != nil {
-			return
+		body, err := fr.next()
+		if err != nil {
+			return // EOF, connection error, or an oversized frame
+		}
+		req, err := decodeDirReq(body)
+		if err != nil {
+			return // malformed request: fatal for this connection
 		}
 		var resp dirResp
 		switch req.Op {
@@ -146,7 +152,11 @@ func (s *DirectoryServer) serve(conn net.Conn) {
 			resp.Node, resp.OK = s.inner.Contact(req.Attr, s.rng)
 			s.rngMu.Unlock()
 		}
-		if err := enc.Encode(resp); err != nil {
+		out, err = appendDirResp(out[:0], resp)
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(out); err != nil {
 			return
 		}
 	}
@@ -161,8 +171,8 @@ type DirectoryClient struct {
 
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	fr   *frameReader
+	buf  []byte
 }
 
 var _ core.Directory = (*DirectoryClient)(nil)
@@ -179,6 +189,7 @@ func (c *DirectoryClient) Close() error {
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
+		c.fr = nil
 		return err
 	}
 	return nil
@@ -194,17 +205,23 @@ func (c *DirectoryClient) call(req dirReq) (dirResp, bool) {
 				return dirResp{}, false
 			}
 			c.conn = conn
-			c.enc = gob.NewEncoder(conn)
-			c.dec = gob.NewDecoder(conn)
+			c.fr = newFrameReader(conn)
 		}
-		if err := c.enc.Encode(req); err == nil {
-			var resp dirResp
-			if err := c.dec.Decode(&resp); err == nil {
-				return resp, true
+		frame, err := appendDirReq(c.buf[:0], req)
+		if err != nil {
+			return dirResp{}, false // unencodable request, retry won't help
+		}
+		c.buf = frame[:0]
+		if _, err := c.conn.Write(frame); err == nil {
+			if body, err := c.fr.next(); err == nil {
+				if resp, err := decodeDirResp(body); err == nil {
+					return resp, true
+				}
 			}
 		}
 		_ = c.conn.Close()
 		c.conn = nil
+		c.fr = nil
 	}
 	return dirResp{}, false
 }

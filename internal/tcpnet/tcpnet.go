@@ -1,17 +1,21 @@
 // Package tcpnet runs DPS nodes across real processes: each node owns a
-// TCP listener, messages travel as gob frames over persistent connections,
-// and a small directory service bootstraps attribute-tree discovery. It is
-// the third engine for the sans-IO protocol in internal/core, after the
-// deterministic cycle simulator and the in-process goroutine runtime —
-// what turns the reproduction into a deployable library.
+// TCP listener, messages travel as length-prefixed binary frames over
+// persistent connections (the versioned codec of internal/core and
+// internal/wire — see frame.go), and a small directory service bootstraps
+// attribute-tree discovery. It is the third engine for the sans-IO
+// protocol in internal/core, after the deterministic cycle simulator and
+// the in-process goroutine runtime — what turns the reproduction into a
+// deployable library.
 //
 // Scope: LAN/loopback-grade transport with reconnect-on-demand and
-// drop-on-overflow semantics (the protocol tolerates loss by design). It
-// deliberately has no TLS, NAT traversal or membership authentication.
+// drop-on-overflow semantics (the protocol tolerates loss by design).
+// Malformed, oversized or unknown-version frames are fatal for the
+// connection that carried them — never a panic, never an unbounded
+// allocation. It deliberately has no TLS, NAT traversal or membership
+// authentication.
 package tcpnet
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,16 +24,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/sim"
 )
-
-// frame is the wire unit between transports.
-type frame struct {
-	From    sim.NodeID
-	Addr    string // sender's listen address, for the address book
-	Payload any
-}
 
 // Config parameterises a Transport.
 type Config struct {
@@ -75,10 +71,11 @@ type inboxItem struct {
 	cmd  func()
 }
 
+// outConn is one outbound connection plus its reusable frame buffer.
 type outConn struct {
 	mu   sync.Mutex
-	enc  *gob.Encoder
 	conn net.Conn
+	buf  []byte
 }
 
 // env adapts Transport to sim.Env.
@@ -105,7 +102,6 @@ func New(cfg Config, proc sim.Process) (*Transport, error) {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 4096
 	}
-	core.RegisterWireTypes()
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen: %w", err)
@@ -139,7 +135,8 @@ func (t *Transport) AddPeer(id sim.NodeID, addr string) {
 	t.mu.Unlock()
 }
 
-// Dropped reports messages lost to inbox overflow or dead connections.
+// Dropped reports messages lost to inbox overflow, dead connections or
+// encoding failures.
 func (t *Transport) Dropped() int64 { return t.dropped.Load() }
 
 // Do runs fn on the node's goroutine — the only safe way to call
@@ -220,6 +217,10 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
+// readLoop decodes inbound frames until the connection dies or misbehaves.
+// A malformed, oversized or unknown-version frame closes the connection:
+// after a framing error the stream position is unreliable, so resyncing
+// would risk feeding garbage to the decoder forever.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -235,17 +236,22 @@ func (t *Transport) readLoop(conn net.Conn) {
 		delete(t.inConns, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	fr := newFrameReader(conn)
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			return
+		body, err := fr.next()
+		if err != nil {
+			return // EOF, connection error, or an oversized frame
 		}
-		if f.Addr != "" {
-			t.AddPeer(f.From, f.Addr) // learn return paths
+		from, addr, payload, err := decodeTransportBody(body)
+		if err != nil {
+			t.dropped.Add(1)
+			return // corrupt frame: fatal for this connection
+		}
+		if addr != "" {
+			t.AddPeer(from, addr) // learn return paths
 		}
 		select {
-		case t.inbox <- inboxItem{from: f.From, msg: f.Payload}:
+		case t.inbox <- inboxItem{from: from, msg: payload}:
 		case <-t.stop:
 			return
 		default:
@@ -275,7 +281,7 @@ func (t *Transport) send(to sim.NodeID, msg any) {
 			t.dropped.Add(1)
 			return
 		}
-		c = &outConn{enc: gob.NewEncoder(conn), conn: conn}
+		c = &outConn{conn: conn}
 		t.mu.Lock()
 		if old := t.conns[to]; old != nil {
 			t.mu.Unlock()
@@ -287,7 +293,16 @@ func (t *Transport) send(to sim.NodeID, msg any) {
 		}
 	}
 	c.mu.Lock()
-	err := c.enc.Encode(frame{From: t.cfg.ID, Addr: t.Addr(), Payload: msg})
+	frame, err := appendTransportFrame(c.buf[:0], t.cfg.ID, t.Addr(), msg)
+	if err != nil {
+		// Unencodable payload (not a protocol message, or over the frame
+		// bound): the connection is fine, the message is not.
+		c.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	c.buf = frame[:0]
+	_, err = c.conn.Write(frame)
 	c.mu.Unlock()
 	if err != nil {
 		// Connection went bad: forget it; the next send re-dials.

@@ -146,7 +146,8 @@ func TestSendToUnknownPeerDrops(t *testing.T) {
 	}
 }
 
-// heartbeatProbe returns any registered payload for the drop test.
+// heartbeatProbe returns an arbitrary payload for the drop test; the
+// send fails on the unknown peer before any encoding happens.
 func heartbeatProbe() any {
 	ev, _ := filter.ParseEvent("x=1")
 	return ev

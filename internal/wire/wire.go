@@ -1,0 +1,253 @@
+// Package wire implements the byte-level primitives of the DPS binary
+// wire format: varint integers, length-prefixed strings, and a bounded,
+// panic-free Reader for decoding untrusted input.
+//
+// The format exists to replace encoding/gob on the cross-process paths
+// (internal/tcpnet): gob's self-describing streams pay a reflection and
+// type-dictionary tax on every connection, while protocol messages here
+// are a small closed set with stable numeric identifiers
+// (internal/core's MsgType registry). Frames are length-prefixed and
+// bounded by MaxFrame, so a malformed or hostile peer can neither panic a
+// decoder nor make it allocate without bound.
+//
+// Encoding conventions:
+//
+//   - unsigned integers: binary uvarint
+//   - signed integers: binary varint (zig-zag)
+//   - strings and byte slices: uvarint length followed by the raw bytes
+//   - booleans: one byte, 0 or 1
+//   - lists: uvarint element count followed by the elements
+//
+// Append functions grow a caller-owned buffer (append-style, no
+// intermediate allocations); Consume happens through Reader, which
+// accumulates the first error and returns zero values afterwards, so
+// decoders read linearly and check Err once at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxFrame bounds the payload of any length-prefixed frame, on both the
+// encoding and the decoding side. Protocol messages are far smaller; the
+// bound exists so a corrupt or hostile length prefix can never trigger an
+// unbounded allocation.
+const MaxFrame = 1 << 20
+
+// Errors reported by the Reader and the frame helpers. Decoders treat any
+// of them as a fatal connection error, never as a recoverable condition.
+var (
+	// ErrShort reports a truncated buffer: a field extends past the end
+	// of the frame.
+	ErrShort = errors.New("wire: truncated buffer")
+	// ErrOverflow reports a varint that does not fit its target type.
+	ErrOverflow = errors.New("wire: varint overflows")
+	// ErrFrameTooLarge reports a frame exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
+	// ErrTrailingBytes reports undecoded bytes after a complete message.
+	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
+)
+
+// AppendUvarint appends v in uvarint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v in zig-zag varint encoding.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBool appends one byte, 1 for true and 0 for false.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendByte appends a single raw byte.
+func AppendByte(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// Reader decodes a single frame's bytes. It never panics on malformed
+// input: the first failure latches into err, and every later read returns
+// a zero value, so decode code reads all fields linearly and inspects Err
+// exactly once. The zero Reader is empty; construct with NewReader.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf;
+// strings it returns share no memory with it (they are copied out), so
+// the caller may reuse buf after decoding.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int { return r.off }
+
+// Span returns the raw bytes between a previously captured Offset and the
+// current position. The slice aliases the Reader's buffer: callers that
+// retain it must copy. Used by decoders that scan a field's extent first
+// (for interning) and decode it second.
+func (r *Reader) Span(from int) []byte {
+	if r.err != nil || from < 0 || from > r.off {
+		return nil
+	}
+	return r.buf[from:r.off]
+}
+
+// SkipString consumes a length-prefixed string without materialising it.
+func (r *Reader) SkipString() {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n > uint64(r.Remaining()) {
+		r.err = ErrShort
+		return
+	}
+	r.off += int(n)
+}
+
+// Fail latches err as the Reader's error if none is set. Decoders layered
+// on top of Reader (message codecs, validation) use it to funnel their own
+// failures through the same single check.
+func (r *Reader) Fail(err error) {
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+}
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done reports whether the buffer was fully and cleanly consumed.
+func (r *Reader) Done() bool { return r.err == nil && r.off == len(r.buf) }
+
+// Byte consumes one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.err = ErrShort
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool consumes one byte and interprets any non-zero value as true.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint consumes a uvarint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.err = ErrShort
+		} else {
+			r.err = ErrOverflow
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint consumes a zig-zag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.err = ErrShort
+		} else {
+			r.err = ErrOverflow
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// String consumes a length-prefixed string. The length is validated
+// against the remaining bytes before any allocation, so a corrupt prefix
+// cannot trigger an oversized allocation.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.err = ErrShort
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// ListLen consumes a list's element count. Every wire element occupies at
+// least one byte, so a count exceeding the remaining bytes is rejected
+// before the caller sizes any slice — bounding allocation by the frame
+// size itself.
+func (r *Reader) ListLen() int {
+	return r.ListLenSized(1)
+}
+
+// ListLenSized is ListLen for lists whose elements occupy at least
+// minBytes each on the wire: a claimed count that could not possibly fit
+// in the remaining bytes fails before the caller allocates anything.
+// Callers should still cap the *initial* capacity of the slice they
+// build (CapHint) — a hostile frame full of minimum-size elements
+// honours this bound while still claiming a large count.
+func (r *Reader) ListLenSized(minBytes int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(r.Remaining()/minBytes) {
+		r.err = fmt.Errorf("%w: list of %d elements (min %d bytes each) in %d bytes",
+			ErrShort, n, minBytes, r.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// CapHint bounds the initial capacity of a decoded slice: enough to
+// avoid regrowth for every honest message, small enough that a hostile
+// count cannot amplify a tiny frame into a huge up-front allocation
+// (append pays as it goes, bounded by the real element data).
+func CapHint(n, max int) int {
+	if n > max {
+		return max
+	}
+	return n
+}

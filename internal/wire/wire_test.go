@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, math.MaxUint64)
+	buf = AppendVarint(buf, 0)
+	buf = AppendVarint(buf, math.MinInt64)
+	buf = AppendVarint(buf, math.MaxInt64)
+	buf = AppendString(buf, "")
+	buf = AppendString(buf, "hello, wire")
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendByte(buf, 0xAB)
+
+	r := NewReader(buf)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Varint(); got != 0 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("string = %q", got)
+	}
+	if got := r.String(); got != "hello, wire" {
+		t.Errorf("string = %q", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("byte = %#x", got)
+	}
+	if !r.Done() {
+		t.Errorf("reader not done: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader(AppendString(nil, "abcdef")[:3]) // truncated mid-string
+	if got := r.String(); got != "" {
+		t.Errorf("truncated string = %q", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Errorf("err = %v, want ErrShort", r.Err())
+	}
+	// Every subsequent read stays zero without panicking.
+	if r.Byte() != 0 || r.Uvarint() != 0 || r.Varint() != 0 || r.String() != "" || r.Bool() {
+		t.Error("reads after error must return zero values")
+	}
+}
+
+func TestReaderOversizedStringLength(t *testing.T) {
+	// A length prefix claiming far more bytes than the frame holds must
+	// fail before allocating.
+	buf := AppendUvarint(nil, 1<<40)
+	buf = append(buf, 'x')
+	r := NewReader(buf)
+	if got := r.String(); got != "" {
+		t.Errorf("string = %q", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Errorf("err = %v, want ErrShort", r.Err())
+	}
+}
+
+func TestListLenBoundsAllocation(t *testing.T) {
+	buf := AppendUvarint(nil, 1<<30) // a billion elements in a tiny frame
+	r := NewReader(buf)
+	if n := r.ListLen(); n != 0 {
+		t.Errorf("ListLen = %d", n)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Errorf("err = %v, want ErrShort", r.Err())
+	}
+
+	ok := NewReader(AppendUvarint(make([]byte, 0, 8), 3))
+	ok.buf = append(ok.buf, 1, 2, 3)
+	if n := ok.ListLen(); n != 3 || ok.Err() != nil {
+		t.Errorf("ListLen = %d, err %v", n, ok.Err())
+	}
+}
+
+func TestFailLatchesFirstError(t *testing.T) {
+	r := NewReader(nil)
+	sentinel := errors.New("sentinel")
+	r.Fail(sentinel)
+	r.Fail(errors.New("second"))
+	if !errors.Is(r.Err(), sentinel) {
+		t.Errorf("err = %v, want the first failure", r.Err())
+	}
+}
+
+func TestStringCopiesOut(t *testing.T) {
+	buf := AppendString(nil, "shared")
+	r := NewReader(buf)
+	s := r.String()
+	copy(buf, bytes.Repeat([]byte{'x'}, len(buf)))
+	if s != "shared" {
+		t.Errorf("string aliased the input buffer: %q", s)
+	}
+}
