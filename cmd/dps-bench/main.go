@@ -8,6 +8,12 @@
 //	dps-bench -experiment all -seed 7
 //	dps-bench -experiment scale -parallel -1
 //	dps-bench -experiment analysis -json
+//	dps-bench -experiment chaos -json
+//
+// The chaos experiment runs the scripted fault suite of internal/chaos
+// (crash bursts, restarts, partitions, loss windows, churn) with the
+// continuous structural-invariant checker attached; -json emits
+// per-scenario invariant verdicts and time-to-repair distributions.
 //
 // -json replaces the rendered tables with one machine-readable JSON
 // document (run parameters, per-experiment wall-clock, full result
@@ -42,7 +48,7 @@ func main() {
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, scale, all")
+			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, scale, all")
 		scale    = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
@@ -227,6 +233,17 @@ func registry() []experimentEntry {
 		}},
 		{"analysis", func(seed int64, scale float64, parallel int) (renderable, error) {
 			res, err := experiments.RunAnalysis(experiments.DefaultAnalysisOptions())
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}},
+		{"chaos", func(seed int64, scale float64, parallel int) (renderable, error) {
+			opts := experiments.DefaultChaosOptions()
+			opts.Seed = seed
+			opts.Parallelism = parallel
+			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
+			res, err := experiments.RunChaos(opts)
 			if err != nil {
 				return nil, err
 			}

@@ -9,14 +9,26 @@
 // -parallel fans the cycle engine out across a worker pool (-1 = one
 // worker per CPU); results are bit-identical to the sequential engine
 // for the same seed.
+//
+// -scenario switches to the chaos harness: the named fault-scenario
+// preset (crash bursts, restarts, partitions, loss windows, churn) runs
+// with the continuous structural-invariant checker attached, and the exit
+// status reports whether every scenario ended invariant-clean. Use
+// "-scenario list" to enumerate presets, "-scenario all" for the suite,
+// and -json for the machine-readable report.
+//
+//	dps-sim -scenario dependability -nodes 150
+//	dps-sim -scenario all -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"github.com/dps-overlay/dps/internal/chaos"
 	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/experiments"
 	"github.com/dps-overlay/dps/internal/metrics"
@@ -41,6 +53,8 @@ func run() int {
 		failure     = flag.Float64("failure", 0, "node kills per step (0 disables churn)")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		parallel    = flag.Int("parallel", 1, "engine workers: 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
+		scenario    = flag.String("scenario", "", "chaos scenario preset to run with invariant checking (see -scenario list); empty runs the plain simulation")
+		asJSON      = flag.Bool("json", false, "with -scenario: emit the machine-readable scenario report instead of the table")
 	)
 	flag.Parse()
 
@@ -71,6 +85,10 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "dps-sim: unknown communication mode %q\n", *comm)
 		return 2
+	}
+
+	if *scenario != "" {
+		return runScenario(*scenario, cfgSpec, *nodes, *subs, *eventEvery, *seed, *parallel, *asJSON)
 	}
 
 	c := experiments.NewClusterParallel(cfgSpec, *seed, *parallel)
@@ -114,6 +132,51 @@ func run() int {
 		metrics.Median(outs), metrics.Max(outs))
 	fmt.Printf("msgs in           median %.1f   max %d\n",
 		metrics.Median(ins), metrics.Max(ins))
+	return 0
+}
+
+// runScenario runs one chaos preset (or all of them with "all" / lists
+// them with "list") under the continuous invariant checker, on the
+// protocol variant selected by -traversal/-comm/-fanout/-cross-fanout.
+// The preset timelines replace -steps/-failure; -workload is fixed to
+// the suite's default.
+func runScenario(name string, cfgSpec experiments.ConfigSpec, nodes, subs, eventEvery int,
+	seed int64, parallel int, asJSON bool) int {
+	if name == "list" {
+		for _, s := range chaos.Presets() {
+			fmt.Printf("%-16s %4d steps + %3d converge, %2d events\n",
+				s.Name, s.Steps, s.Converge, len(s.Events))
+		}
+		return 0
+	}
+	opts := experiments.DefaultChaosOptions()
+	opts.Seed = seed
+	opts.Nodes = nodes
+	opts.SubsPerNode = subs
+	opts.EventEvery = eventEvery
+	opts.Parallelism = parallel
+	opts.Config = cfgSpec
+	if name != "all" {
+		opts.Scenarios = []string{name}
+	}
+	res, err := experiments.RunChaos(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dps-sim:", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "dps-sim:", err)
+			return 1
+		}
+	} else {
+		fmt.Print(res.Render())
+	}
+	if !res.AllClean() {
+		return 1
+	}
 	return 0
 }
 

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// Population is the deployment-level surface the injector drives for
+// faults the engine alone cannot express: process restarts and open-system
+// churn. The experiment cluster implements it; all methods are called on
+// the coordinator between node processing.
+type Population interface {
+	// Restart revives the crashed node under its old id with a fresh
+	// protocol instance that re-issues the node's durable subscriptions.
+	Restart(id sim.NodeID)
+	// Join adds one fresh subscriber node and returns its id.
+	Join() sim.NodeID
+	// Leave makes the node withdraw all its subscriptions gracefully
+	// (the node keeps running; it just stops being a subscriber).
+	Leave(id sim.NodeID)
+}
+
+// Applied records one materialised fault event for the scenario report:
+// what the timeline scripted and which nodes it actually hit.
+type Applied struct {
+	Step  int64        `json:"step"` // absolute engine step
+	Kind  ActionKind   `json:"kind"`
+	Nodes []sim.NodeID `json:"nodes,omitempty"`
+	Rate  float64      `json:"rate,omitempty"`
+	// Links counts the distinct links a CutLinks event actually severed
+	// (duplicate random draws are not faults).
+	Links int `json:"links,omitempty"`
+}
+
+// Injector replays a scenario timeline against a live engine. Arm it on
+// the engine's OnStepBegin hook; each engine step it applies every event
+// whose scenario-relative step has come due, in timeline order, drawing
+// victims from its own seeded RNG — never from the engine stream — so the
+// protocol trace with faults stays bit-identical at any worker count.
+type Injector struct {
+	eng     *sim.Engine
+	pop     Population
+	checker *Checker // may be nil; notified of each fault step for TTR
+	rng     *rand.Rand
+	events  []Event
+	idx     int
+	offset  int64 // engine step corresponding to scenario step 0
+
+	// down tracks nodes this injector crashed and has not yet restarted —
+	// the restartable set, in crash order.
+	down []sim.NodeID
+
+	applied []Applied
+	minLive int // never crash below this many live nodes
+}
+
+// NewInjector builds an injector for the scenario, rooted at the engine's
+// current step (the first scenario step is the next engine step). The
+// checker may be nil. The seed governs victim selection only.
+func NewInjector(eng *sim.Engine, pop Population, checker *Checker, sc Scenario, seed int64) (*Injector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		eng:     eng,
+		pop:     pop,
+		checker: checker,
+		rng:     rand.New(rand.NewSource(seed ^ 0xc4a05)),
+		events:  sc.sorted(),
+		offset:  eng.Now(),
+		minLive: 2,
+	}, nil
+}
+
+// Arm installs the injector on the engine's per-step fault hook.
+func (inj *Injector) Arm() { inj.eng.SetOnStepBegin(inj.onStepBegin) }
+
+// Disarm removes the hook (after the fault phase, before convergence).
+func (inj *Injector) Disarm() { inj.eng.SetOnStepBegin(nil) }
+
+// Done reports whether every scripted event has been applied.
+func (inj *Injector) Done() bool { return inj.idx >= len(inj.events) }
+
+// Applied returns the materialised fault log in application order.
+func (inj *Injector) Applied() []Applied { return inj.applied }
+
+func (inj *Injector) onStepBegin(step int64) {
+	rel := step - inj.offset
+	faulted := false
+	for inj.idx < len(inj.events) && inj.events[inj.idx].Step <= rel {
+		inj.apply(step, inj.events[inj.idx])
+		inj.idx++
+		faulted = true
+	}
+	if faulted && inj.checker != nil {
+		inj.checker.MarkFault(step)
+	}
+}
+
+// apply materialises one event. All selection is over sorted id lists
+// with draws from the injector's private stream.
+func (inj *Injector) apply(step int64, ev Event) {
+	rec := Applied{Step: step, Kind: ev.Kind, Rate: ev.Rate}
+	switch ev.Kind {
+	case Crash:
+		for _, id := range inj.pickAlive(inj.resolveCount(ev), true) {
+			inj.eng.Kill(id)
+			inj.down = append(inj.down, id)
+			rec.Nodes = append(rec.Nodes, id)
+		}
+	case Restart:
+		count := ev.Count
+		if count == 0 || count > len(inj.down) {
+			count = len(inj.down)
+		}
+		for i := 0; i < count; i++ {
+			k := inj.rng.Intn(len(inj.down))
+			id := inj.down[k]
+			inj.down = append(inj.down[:k], inj.down[k+1:]...)
+			inj.pop.Restart(id)
+			rec.Nodes = append(rec.Nodes, id)
+		}
+	case Split:
+		for _, id := range inj.pickAlive(inj.resolveCount(ev), false) {
+			inj.eng.SetPartitionClass(id, ev.Class)
+			rec.Nodes = append(rec.Nodes, id)
+		}
+	case CutLinks:
+		alive := inj.eng.AliveIDs()
+		if len(alive) >= 2 {
+			// Fixed number of draws (determinism contract: the stream
+			// position depends only on the event), but Links reports the
+			// DISTINCT links severed — duplicate and self draws are not
+			// faults.
+			seen := make(map[[2]sim.NodeID]bool, ev.Count)
+			for i := 0; i < ev.Count; i++ {
+				a := alive[inj.rng.Intn(len(alive))]
+				b := alive[inj.rng.Intn(len(alive))]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				if seen[[2]sim.NodeID{a, b}] {
+					continue
+				}
+				seen[[2]sim.NodeID{a, b}] = true
+				inj.eng.CutLink(a, b)
+				rec.Links++
+			}
+		}
+	case Heal:
+		inj.eng.ClearPartitions()
+	case SetLoss:
+		inj.eng.SetLossRate(ev.Rate)
+	case Join:
+		for i := 0; i < ev.Count; i++ {
+			rec.Nodes = append(rec.Nodes, inj.pop.Join())
+		}
+	case Leave:
+		for _, id := range inj.pickAlive(ev.Count, false) {
+			inj.pop.Leave(id)
+			rec.Nodes = append(rec.Nodes, id)
+		}
+	default:
+		panic(fmt.Sprintf("chaos: unknown action kind %d", ev.Kind))
+	}
+	inj.applied = append(inj.applied, rec)
+}
+
+// resolveCount turns an event's Count/Frac into a concrete node count
+// against the current live population.
+func (inj *Injector) resolveCount(ev Event) int {
+	n := ev.Count
+	if ev.Frac > 0 {
+		n += int(ev.Frac * float64(inj.eng.AliveCount()))
+	}
+	return n
+}
+
+// pickAlive draws up to n distinct live nodes. Lethal selections (crash
+// victims) are capped so the live population never shrinks below the
+// survival floor; non-lethal ones (partition sides, leave waves) may
+// cover the whole population.
+func (inj *Injector) pickAlive(n int, lethal bool) []sim.NodeID {
+	alive := inj.eng.AliveIDs()
+	budget := len(alive)
+	if lethal {
+		budget -= inj.minLive
+	}
+	if n > budget {
+		n = budget
+	}
+	if n <= 0 {
+		return nil
+	}
+	// Partial Fisher-Yates over the sorted list: deterministic for a
+	// given stream position, O(n) swaps.
+	for i := 0; i < n; i++ {
+		j := i + inj.rng.Intn(len(alive)-i)
+		alive[i], alive[j] = alive[j], alive[i]
+	}
+	return alive[:n]
+}

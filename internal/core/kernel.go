@@ -115,8 +115,8 @@ type handler func(n *Node, from sim.NodeID, m message)
 // exact per-message handling the former monolithic type switch performed,
 // so traces stay bit-identical.
 var kernelTable = [msgTypeMax + 1]handler{
-	MsgFindGroup: func(n *Node, _ sim.NodeID, m message) {
-		n.mem.handleFindGroup(m.(findGroup))
+	MsgFindGroup: func(n *Node, from sim.NodeID, m message) {
+		n.mem.handleFindGroup(from, m.(findGroup))
 	},
 	MsgJoinAccept: func(n *Node, from sim.NodeID, m message) {
 		n.mem.handleJoinAccept(from, m.(joinAccept))

@@ -160,8 +160,9 @@ func (n *membershipSys) retryJoins(now int64) {
 	}
 }
 
-// handleFindGroup processes one step of the walk at this node.
-func (n *membershipSys) handleFindGroup(f findGroup) {
+// handleFindGroup processes one step of the walk at this node. from is
+// the previous hop (this node's own id for local walk starts).
+func (n *membershipSys) handleFindGroup(from sim.NodeID, f findGroup) {
 	var m *membership
 	if !f.At.IsZero() {
 		if tm, ok := n.groups[f.At.Key()]; ok {
@@ -206,13 +207,13 @@ func (n *membershipSys) handleFindGroup(f findGroup) {
 		}
 		return
 	}
-	n.walkFrom(m, f)
+	n.walkFrom(m, from, f)
 }
 
 // localFindGroup runs the walk starting at one of this node's own
 // memberships (tree owners and re-walks).
 func (n *membershipSys) localFindGroup(f findGroup) {
-	n.handleFindGroup(f)
+	n.handleFindGroup(n.ID(), f)
 }
 
 // walkMembership picks the membership that should process the walk step.
@@ -235,17 +236,71 @@ func (n *membershipSys) walkMembership(f findGroup) *membership {
 }
 
 // walkFrom advances the walk from membership m, possibly recursing locally
-// when the next hop is this same node.
-func (n *membershipSys) walkFrom(m *membership, f findGroup) {
+// when the next hop is this same node. from is the previous hop of the
+// walk.
+func (n *membershipSys) walkFrom(m *membership, from sim.NodeID, f findGroup) {
 	if f.Hops > 128 {
 		return // defensive bound; the subscriber will retry
 	}
-	// Leader mode: group decisions belong to the leader.
-	if n.cfg.Comm == LeaderBased && !m.isLeaderHere(n.ID()) && m.leader != 0 && !n.suspected[m.leader] {
-		f.Hops++
-		f.At = m.af
-		n.send(m.leader, f)
-		return
+	// Leader mode: group decisions belong to the leader. StrictRepair
+	// exception: never forward a walk to its own subscriber — when the
+	// believed leader IS the node that is walking (it re-attaches while
+	// the cohort still names it leader), deferring to it just returns
+	// the walk to a node that cannot accept itself; this member answers
+	// instead, and its joinAccept hands the subscriber the predview it
+	// lost.
+	if n.cfg.Comm == LeaderBased && !m.isLeaderHere(n.ID()) && m.leader != 0 &&
+		!n.suspected[m.leader] &&
+		(!n.cfg.StrictRepair || m.leader != f.Subscriber) {
+		if n.cfg.StrictRepair && from == m.leader && from != n.ID() &&
+			!has(m.parent.Nodes, from) {
+			// Leadership deference cycle: the walk came from the very node
+			// we would forward it to, so each side believes the other
+			// leads — crossed duplicate-instance merges can leave two
+			// members deferring to each other forever, bouncing every walk
+			// between them. Resolve by the same total order merges use:
+			// the lower id anchors leadership, announces it and processes
+			// the walk; the higher id forgets its stale leader and bounces
+			// the walk back so the lower side sees the cycle too (it
+			// cannot detect it otherwise — each node only ever receives
+			// the walk from its own believed leader). The bounce cannot
+			// loop: both sides clear or claim the leadership on first
+			// contact. The parent-contact exclusion above keeps a genuine
+			// route-down from colliding with this: a node leading both the
+			// parent and this group hands walks to this group's contacts
+			// with the exact shape of a leader deferral.
+			if n.ID() < from {
+				m.leader = n.ID()
+				m.leaderlessAt = 0
+				m.coLeaders.remove(n.ID())
+				n.rep.broadcastCoLeaders(m)
+			} else {
+				m.leader = 0
+				m.leaderlessAt = 0
+				f.Hops++
+				f.At = m.af
+				n.send(from, f)
+				return
+			}
+		} else {
+			f.Hops++
+			f.At = m.af
+			n.send(m.leader, f)
+			return
+		}
+	}
+	// Reaching this point in leader mode means this node acts as the
+	// group's decision maker. If the group is leaderless, claim it before
+	// answering: two leaderless instances can otherwise re-attach into
+	// each other forever, each accepting the other with Leader 0 (the
+	// leaderless twin of the deference cycle above — both found by the
+	// chaos harness).
+	if n.cfg.StrictRepair && n.cfg.Comm == LeaderBased && m.leader == 0 &&
+		m.state == stateActive && !m.isRoot {
+		m.leader = n.ID()
+		m.leaderlessAt = 0
+		m.coLeaders.remove(n.ID())
+		n.rep.broadcastCoLeaders(m)
 	}
 	if m.isRoot {
 		n.rep.maybeRecruitCoOwner(m, f.Subscriber)
@@ -258,7 +313,7 @@ func (n *membershipSys) walkFrom(m *membership, f findGroup) {
 			f.Hops++
 			f.At = nextAF
 			if next == n.ID() {
-				n.handleFindGroup(f)
+				n.handleFindGroup(n.ID(), f)
 				return
 			}
 			n.send(next, f)
@@ -282,7 +337,7 @@ func (n *membershipSys) walkFrom(m *membership, f findGroup) {
 			f.Hops++
 			f.At = m.parent.AF
 			if up == n.ID() {
-				n.handleFindGroup(f)
+				n.handleFindGroup(n.ID(), f)
 				return
 			}
 			n.send(up, f)
@@ -350,6 +405,9 @@ func (n *membershipSys) acceptMember(m *membership, sub sim.NodeID, wanted filte
 		}
 		n.setActive(m)
 		return
+	}
+	if m.departed != nil {
+		delete(m.departed, sub) // a genuine re-join overrides the leave memory
 	}
 	isNew := m.members.add(sub)
 	if n.cfg.Comm == Epidemic {
@@ -548,7 +606,15 @@ func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 	if n.cfg.Comm == Epidemic {
 		m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
 	}
-	m.parent = msg.Parent
+	// When the acceptor is itself orphaned (empty predview), keep what we
+	// know instead of erasing it — the parent's periodic branch exchanges
+	// may already have re-pointed us at the live tree, and that knowledge
+	// is how a detached group instance pair finds its way back
+	// (chaos-harness finding: two orphaned instances can otherwise
+	// re-accept each other's re-walks with empty predviews forever).
+	if !n.cfg.StrictRepair || len(msg.Parent.Nodes) > 0 || len(m.parent.Nodes) == 0 {
+		m.parent = msg.Parent
+	}
 	if wasJoining {
 		n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
 	}
@@ -564,6 +630,9 @@ func (n *membershipSys) handleJoinNotify(msg joinNotify) {
 	if msg.Gone {
 		m.members.remove(msg.Member)
 		m.coLeaders.remove(msg.Member)
+		if n.cfg.StrictRepair {
+			m.markDeparted(msg.Member, n.env.Now())
+		}
 		return
 	}
 	m.members.add(msg.Member)
@@ -577,7 +646,11 @@ func (n *membershipSys) handleGossipSub(msg gossipSub) {
 	}
 	if msg.Gone {
 		m.members.remove(msg.Member)
-	} else {
+		if n.cfg.StrictRepair {
+			m.markDeparted(msg.Member, n.env.Now())
+		}
+	} else if !n.cfg.StrictRepair ||
+		!m.recentlyDeparted(msg.Member, n.env.Now(), n.cfg.SeenTTL) {
 		m.members.add(msg.Member)
 		m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
 	}
@@ -736,6 +809,16 @@ func (n *membershipSys) handleLeave(msg leave) {
 	}
 	m.members.remove(msg.Member)
 	m.coLeaders.remove(msg.Member)
+	if n.cfg.StrictRepair {
+		m.markDeparted(msg.Member, n.env.Now())
+	}
+	if n.cfg.StrictRepair && m.leader == msg.Member {
+		// The peer we deferred to says it is not in the group: forget the
+		// stale leadership. The leaderless grace (or, for root mirrors,
+		// the directory-based recovery) finds the real cohort from here.
+		m.leader = 0
+		m.leaderlessAt = 0
+	}
 	if n.cfg.Comm == LeaderBased && m.isLeaderHere(n.ID()) {
 		for _, cl := range m.coLeaders.ids() {
 			n.send(cl, joinNotify{AF: m.af, Member: msg.Member, Gone: true})
@@ -780,6 +863,23 @@ func (n *membershipSys) gcRumours(now int64) {
 	for k, at := range n.rumours {
 		if now-at > n.cfg.SeenTTL {
 			delete(n.rumours, k)
+		}
+	}
+}
+
+// gcDeparted expires the per-membership departure memories (StrictRepair)
+// so long-running open-system nodes do not accumulate a mark for every
+// member that ever left. Same sweep cadence as the other dedup memories.
+func (n *membershipSys) gcDeparted(now int64) {
+	for _, key := range n.groupOrder {
+		m := n.groups[key]
+		if m.departed == nil {
+			continue
+		}
+		for id, at := range m.departed {
+			if now-at > n.cfg.SeenTTL {
+				delete(m.departed, id)
+			}
 		}
 	}
 }

@@ -242,4 +242,5 @@ func (n *Node) gcSeen(now int64) {
 	}
 	n.dis.gcDedup(now)
 	n.mem.gcRumours(now)
+	n.mem.gcDeparted(now)
 }

@@ -185,7 +185,60 @@ func (n *repairSys) heartbeatRound(now int64) {
 	if n.cfg.Comm == LeaderBased {
 		for _, key := range n.snapshotGroupKeys() {
 			m := n.groups[key]
-			if m == nil || m.state != stateActive || m.isRoot || m.leader != 0 {
+			if m == nil || m.state != stateActive {
+				continue
+			}
+			// Orphaned-leader grace (StrictRepair): a leader whose active
+			// non-root group has no predview contact at all re-walks to
+			// find its position. The walk-bounce resolution can settle two
+			// re-attaching nodes onto each other without either finishing
+			// a placement walk, fabricating a group attached to nothing.
+			if n.cfg.StrictRepair && m.leader == n.ID() && !m.isRoot &&
+				len(m.parent.Nodes) == 0 {
+				switch {
+				case m.leaderlessAt == 0:
+					m.leaderlessAt = now
+				case now-m.leaderlessAt > timeout:
+					m.leaderlessAt = 0
+					n.reattach(m)
+				}
+				continue
+			}
+			if m.leader != 0 {
+				continue
+			}
+			if m.isRoot {
+				// Root memberships sit outside the classic grace path (a
+				// root has no predecessor to re-walk from). StrictRepair
+				// recovers leaderless mirrors through the directory: the
+				// owner reasserts leadership, a deposed mirror demotes, and
+				// if the owner itself is gone the mirror reclaims the tree.
+				if !n.cfg.StrictRepair {
+					continue
+				}
+				switch {
+				case m.leaderlessAt == 0:
+					m.leaderlessAt = now
+				case now-m.leaderlessAt > timeout:
+					m.leaderlessAt = 0
+					owner, okO := n.cfg.Directory.Owner(m.af.Attr())
+					switch {
+					case okO && owner == n.ID():
+						m.leader = n.ID()
+						m.coLeaders.remove(n.ID())
+						n.broadcastCoLeaders(m)
+					case okO && !n.suspected[owner]:
+						n.demoteRootMirror(m)
+					default:
+						// Owner dead or tree ownerless: the mirror takes
+						// over, as in reclaimRoots.
+						n.cfg.Directory.ReplaceOwner(m.af.Attr(), n.ID())
+						n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
+						m.leader = n.ID()
+						m.coLeaders.remove(n.ID())
+						n.broadcastCoLeaders(m)
+					}
+				}
 				continue
 			}
 			switch {
@@ -375,9 +428,16 @@ func (n *repairSys) handleAdopt(msg adopt) {
 }
 
 // handleCoLeaderUpdate installs the announced leader/co-leader set.
-func (n *repairSys) handleCoLeaderUpdate(_ sim.NodeID, msg coLeaderUpdate) {
+func (n *repairSys) handleCoLeaderUpdate(from sim.NodeID, msg coLeaderUpdate) {
 	m, ok := n.groups[msg.AF.Key()]
 	if !ok {
+		// The announcement addressed us as a member of a group we do not
+		// hold: tell the announcer to drop us. Leadership changes
+		// broadcast to the whole groupview, so this sweeps stale entries
+		// (restarted or departed identities) out at every promotion.
+		if n.cfg.StrictRepair {
+			n.send(from, leave{AF: msg.AF, Member: n.ID()})
+		}
 		return
 	}
 	if msg.Leader != 0 && n.suspected[msg.Leader] {
@@ -389,14 +449,48 @@ func (n *repairSys) handleCoLeaderUpdate(_ sim.NodeID, msg coLeaderUpdate) {
 }
 
 // handleRehome re-walks this group from the current owner (duplicate-tree
-// merge).
+// merge). Under StrictRepair a rehome can also address a root mirror: the
+// cohort it mirrored dissolved, so the mirror demotes — dropping the
+// membership outright when it serves no subscription, re-walking into the
+// canonical tree when it does.
 func (n *repairSys) handleRehome(msg rehome) {
 	m, ok := n.groups[msg.AF.Key()]
 	if !ok {
 		return
 	}
+	if m.isRoot && n.cfg.StrictRepair {
+		if owner, okO := n.cfg.Directory.Owner(m.af.Attr()); okO && owner == n.ID() {
+			return // we own the tree: the rehome is stale
+		}
+		n.demoteRootMirror(m)
+		return
+	}
 	n.setJoining(m)
 	n.mem.startJoin(m)
+}
+
+// demoteRootMirror retires a root mirror whose cohort was deposed: the
+// membership stops being a root; with subscriptions to serve it re-walks
+// into the canonical tree, without any it leaves the overlay.
+func (n *repairSys) demoteRootMirror(m *membership) {
+	m.isRoot = false
+	m.leader = 0
+	m.leaderlessAt = 0
+	if len(m.subs) > 0 {
+		n.reattach(m)
+		return
+	}
+	key := m.af.Key()
+	n.dropMembership(key)
+	// Stay a directory contact only while other memberships keep us in
+	// the tree.
+	attr := m.af.Attr()
+	for _, k := range n.groupOrder {
+		if n.groups[k].af.Attr() == attr {
+			return
+		}
+	}
+	n.cfg.Directory.DropContact(attr, n.ID())
 }
 
 // reattach re-runs the placement walk for a group this node already
@@ -493,6 +587,33 @@ func (n *repairSys) viewExchangeRound() {
 		}
 		var targets []sim.NodeID
 		adjacent := false // may this node speak for the group tree-wise?
+		// StrictRepair leader ping: a non-leader member synchronises with
+		// its believed leader — root mirrors every round, regular members
+		// every fourth (they are meant to stay near-silent). A live
+		// leader replies with the authoritative view (reconciling stale
+		// entries); a node that no longer holds the group answers "not a
+		// member", which clears the stale leadership and routes the
+		// member into the grace-period recovery. Without this, a member
+		// whose leader dropped the group — but stays live and chatty on
+		// other channels, so suspicion never fires — keeps deferring to
+		// it forever. The ping is deliberately minimal — only the
+		// sender's own id — so a stale view never re-infects the leader's
+		// authoritative copy with entries the audit just removed.
+		if n.cfg.StrictRepair && n.cfg.Comm == LeaderBased &&
+			!m.isLeaderHere(n.ID()) && m.leader != 0 && !n.suspected[m.leader] {
+			ping := m.isRoot
+			if !ping {
+				m.auditIdx++
+				ping = m.auditIdx%4 == 0
+			}
+			if ping {
+				n.send(m.leader, viewExchange{
+					AF:      m.af,
+					Members: []sim.NodeID{n.ID()},
+					Leader:  m.leader,
+				})
+			}
+		}
 		switch n.cfg.Comm {
 		case Epidemic:
 			targets = m.members.sample(n.env.Rand(), 1, n.ID())
@@ -512,6 +633,31 @@ func (n *repairSys) viewExchangeRound() {
 					targets = append(targets, p)
 				}
 				adjacent = true
+				if n.cfg.StrictRepair && m.members.len() > 1 {
+					// Rotating member audit: address a quarter of the
+					// groupview per round (2–8 members, spread evenly), so
+					// a full audit cycle takes at most four periods
+					// regardless of group size. Live members refresh their
+					// groupview and predview from the authoritative copy;
+					// stale entries (restarted or departed identities)
+					// answer "not a member" and get dropped.
+					size := m.members.len()
+					width := size / 4
+					if width < 2 {
+						width = 2
+					}
+					if width > 8 {
+						width = 8
+					}
+					idx := m.auditIdx % size
+					m.auditIdx++
+					for k := 0; k < width; k++ {
+						i := (idx + k*size/width) % size
+						if t := m.members.list[i]; t != n.ID() && !has(targets, t) {
+							targets = append(targets, t)
+						}
+					}
+				}
 			}
 		}
 		// The merge process: send the succview to succview contacts too.
@@ -585,6 +731,26 @@ func (n *repairSys) checkRootStillOwned(m *membership) {
 			n.send(c, rehome{AF: b.AF})
 		}
 	}
+	if n.cfg.StrictRepair {
+		// Tell the cohort — co-owner mirrors and recruited members — that
+		// this root instance dissolved. Without this they mirror a root
+		// that no longer exists forever (stale leaders, ownerless mirrors):
+		// the first structural defect the chaos invariant checker found.
+		for _, id := range m.members.ids() {
+			if id != n.ID() {
+				n.send(id, rehome{AF: m.af})
+			}
+		}
+		// The dissolving root's subscriptions re-walk into the canonical
+		// tree instead of leaving the overlay with the membership.
+		if len(m.subs) > 0 {
+			m.isRoot = false
+			m.leader = 0
+			m.leaderlessAt = 0
+			n.reattach(m)
+			return
+		}
+	}
 	// The dissolving root may carry live subscriptions (a subscriber with
 	// a universal filter): they leave the delivery index with it.
 	for _, sub := range m.subs {
@@ -600,8 +766,32 @@ func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 		// Same group: union memberships (this is what merges duplicate
 		// groups created concurrently — they share a key).
 		foreign := from != m.leader && !m.coLeaders.has(from) && !m.members.has(from)
-		for _, id := range msg.Members {
-			m.members.add(id)
+		fromLeader := n.cfg.Comm == LeaderBased && from == m.leader &&
+			from != n.ID() && !n.suspected[from]
+		now := n.env.Now()
+		if n.cfg.StrictRepair && fromLeader {
+			// The leader's groupview is authoritative in leader mode
+			// (§4.2.1: co-leaders mirror it). Reconcile instead of union,
+			// or members the leader removed — crashed, restarted, left —
+			// survive in mirrors forever and resurrect at the leader
+			// through reply unions (found by the chaos view-symmetry
+			// sweep).
+			fresh := newView(n.ID(), from)
+			for _, id := range msg.Members {
+				fresh.add(id)
+			}
+			m.members = fresh
+			m.coLeaders = n.liveView(msg.CoLead)
+		} else {
+			for _, id := range msg.Members {
+				// A member we saw leave stays out until it re-joins for
+				// real: exchange replies race with removals, and an
+				// un-guarded union resurrects every removed entry.
+				if n.cfg.StrictRepair && m.recentlyDeparted(id, now, n.cfg.SeenTTL) {
+					continue
+				}
+				m.members.add(id)
+			}
 		}
 		if n.cfg.Comm == Epidemic {
 			m.members.bound(n.cfg.GroupViewSize, n.env.Rand())
@@ -635,6 +825,11 @@ func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 			}
 		}
 		if len(m.parent.Nodes) == 0 && len(msg.Parent.Nodes) > 0 && !m.isRoot {
+			m.parent = cloneBranch(msg.Parent)
+		} else if n.cfg.StrictRepair && fromLeader && !m.isRoot && len(msg.Parent.Nodes) > 0 {
+			// Members adopt the leader's predview wholesale: the leader is
+			// the instance that monitors and repairs the upward edge, so
+			// its contacts are the fresh ones.
 			m.parent = cloneBranch(msg.Parent)
 		}
 		// Refresh branches we both know. Root mirrors adopt branches their
@@ -711,5 +906,17 @@ func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 				}
 			}
 		}
+	}
+	// The sender's views claim us as a member (or even the leader) of a
+	// group we do not hold AT ALL — we are a stale entry: a restart shed
+	// our old memberships, or our mirror demoted. Answer "not a member"
+	// so the group stops carrying us; without this, crashed-and-restarted
+	// identities haunt groupviews forever (found by the chaos invariant
+	// checker's view-symmetry sweep). A membership in stateJoining counts
+	// as holding the group: a member mid-re-attach must not ask its own
+	// cohort to evict it.
+	if n.cfg.StrictRepair && !ok &&
+		(msg.Leader == n.ID() || has(msg.Members, n.ID()) || has(msg.CoLead, n.ID())) {
+		n.send(from, leave{AF: msg.AF, Member: n.ID()})
 	}
 }

@@ -51,6 +51,41 @@ type membership struct {
 	// through setBranch/deleteBranch to keep the two in sync.
 	branchOrder []string
 	isRoot      bool // this membership hosts the tree root
+	// auditIdx rotates the StrictRepair member audit: each view-exchange
+	// round the leader additionally addresses one member, so stale
+	// groupview entries (restarted or departed identities) eventually get
+	// asked and answer "not a member".
+	auditIdx int
+	// departed (StrictRepair) remembers members removed by leave for a
+	// dedup window, so in-flight view-exchange replies built from stale
+	// mirrors cannot resurrect them; a genuine re-join through
+	// acceptMember clears the mark. Lazily allocated.
+	departed map[sim.NodeID]int64
+}
+
+// markDeparted remembers that id left the group at the given step.
+func (m *membership) markDeparted(id sim.NodeID, now int64) {
+	if m.departed == nil {
+		m.departed = make(map[sim.NodeID]int64)
+	}
+	m.departed[id] = now
+}
+
+// recentlyDeparted reports whether id left within the ttl window,
+// pruning expired marks as a side effect.
+func (m *membership) recentlyDeparted(id sim.NodeID, now, ttl int64) bool {
+	if m.departed == nil {
+		return false
+	}
+	at, ok := m.departed[id]
+	if !ok {
+		return false
+	}
+	if ttl > 0 && now-at > ttl {
+		delete(m.departed, id)
+		return false
+	}
+	return true
 }
 
 // setBranch installs b under key in the succview, maintaining the

@@ -136,6 +136,24 @@ type Config struct {
 	// SeenTTL bounds the event-deduplication memory.
 	SeenTTL int64
 
+	// StrictRepair enables repair extensions beyond the paper's protocol,
+	// found by the chaos harness's invariant checker (internal/chaos):
+	//
+	//   - leadership deference cycles (two members of one group each
+	//     believing the other leads, bouncing walks forever after crossed
+	//     merges) resolve deterministically to the lower id;
+	//   - a dissolving deposed root tells its members and co-owner mirrors
+	//     to re-walk or drop their stale mirror state, instead of leaving
+	//     them mirroring a root that no longer exists;
+	//   - leaderless root mirrors recover through the directory after the
+	//     promotion grace period (reassert, reclaim, or demote) instead of
+	//     idling forever.
+	//
+	// Off by default so the evaluation experiments replay the paper's
+	// exact protocol (their metric traces are pinned byte-for-byte); the
+	// facade, the live deployments and the chaos suite switch it on.
+	StrictRepair bool
+
 	// Directory is the attribute→tree bootstrap service shared by the
 	// deployment (see Directory). Required.
 	Directory Directory

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestChaosNightlySuite is the long-run chaos job: every scenario preset
+// at three seeds, plus replay equivalence of the full suite at workers
+// 1, 2 and NumCPU. It only runs when CHAOS_NIGHTLY=1 (the nightly CI
+// cron); the PR workflow keeps the short variants in chaos_test.go.
+func TestChaosNightlySuite(t *testing.T) {
+	if os.Getenv("CHAOS_NIGHTLY") == "" {
+		t.Skip("nightly suite; set CHAOS_NIGHTLY=1 to run")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		opts := DefaultChaosOptions()
+		opts.Seed = seed
+		res, err := RunChaos(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range res.Scenarios {
+			if !s.FinalClean {
+				t.Errorf("seed %d %s: final sweep dirty: %d violations %v; sample %+v",
+					seed, s.Scenario, s.FinalCheck.Total, s.FinalCheck.ByInvariant, s.FinalCheck.Sample)
+			}
+			if s.TTR.Samples == 0 {
+				t.Errorf("seed %d %s: no repairs closed", seed, s.Scenario)
+			}
+		}
+	}
+
+	// Replay equivalence of the whole suite across worker counts.
+	run := func(workers int) []byte {
+		opts := DefaultChaosOptions()
+		opts.Parallelism = workers
+		res, err := RunChaos(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(res.Scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	base := run(counts[0])
+	for _, w := range counts[1:] {
+		if got := run(w); string(got) != string(base) {
+			t.Errorf("workers=%d: chaos suite report differs from sequential run", w)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/chaos"
+)
+
+// chaosTestOptions shrinks the suite for unit-test latency while keeping
+// multi-level trees and every fault kind meaningful.
+func chaosTestOptions() ChaosOptions {
+	opts := DefaultChaosOptions()
+	opts.Nodes = 60
+	return opts
+}
+
+// TestChaosPresetsEndClean is the acceptance gate of the chaos suite:
+// every shipped scenario preset must end invariant-clean after its final
+// convergence window.
+func TestChaosPresetsEndClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped with -short")
+	}
+	res, err := RunChaos(chaosTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != len(chaos.PresetNames()) {
+		t.Fatalf("ran %d scenarios, want %d", len(res.Scenarios), len(chaos.PresetNames()))
+	}
+	for _, s := range res.Scenarios {
+		if !s.FinalClean {
+			t.Errorf("%s: final sweep dirty: %d violations %v; sample %+v",
+				s.Scenario, s.FinalCheck.Total, s.FinalCheck.ByInvariant, s.FinalCheck.Sample)
+		}
+		if len(s.Applied) == 0 {
+			t.Errorf("%s: no faults applied", s.Scenario)
+		}
+		if s.TTR.Samples == 0 {
+			t.Errorf("%s: no repairs closed — time-to-repair unmeasured", s.Scenario)
+		}
+		if s.DeliveryRatio < 0.5 {
+			t.Errorf("%s: delivery ratio %.3f collapsed", s.Scenario, s.DeliveryRatio)
+		}
+	}
+}
+
+// TestChaosReplayEquivalence pins the determinism contract: a scenario's
+// whole report — fault log, every sweep, repairs, delivery — is
+// bit-identical at any worker count.
+func TestChaosReplayEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is long; skipped with -short")
+	}
+	opts := chaosTestOptions()
+	opts.Scenarios = []string{"dependability"}
+	run := func(workers int) []byte {
+		o := opts
+		o.Parallelism = workers
+		res, err := RunChaos(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(res.Scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	base := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); string(got) != string(base) {
+			t.Errorf("workers=%d: chaos report differs from sequential run", w)
+		}
+	}
+}
+
+func TestChaosUnknownScenario(t *testing.T) {
+	opts := chaosTestOptions()
+	opts.Scenarios = []string{"no-such-scenario"}
+	if _, err := RunChaos(opts); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

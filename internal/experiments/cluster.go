@@ -112,6 +112,11 @@ type Cluster struct {
 	// the ConfigSpec applies (ablation studies).
 	MutateConfig func(*core.Config)
 
+	// subsByNode remembers each node's durable subscriptions, so a chaos
+	// restart can bring the identity back re-issuing them and a graceful
+	// leave can withdraw them.
+	subsByNode map[sim.NodeID][]filter.Subscription
+
 	mu        sync.Mutex
 	spec      ConfigSpec
 	seed      int64
@@ -125,14 +130,15 @@ type Cluster struct {
 // way.
 func NewCluster(spec ConfigSpec, seed int64) *Cluster {
 	c := &Cluster{
-		Dir:       core.NewSteppedDirectory(),
-		Nodes:     make(map[sim.NodeID]*core.Node),
-		Registry:  metrics.NewRegistry(),
-		Tracker:   metrics.NewDeliveryTracker(),
-		Oracle:    semtree.New(),
-		Contacted: make(map[core.EventID]map[sim.NodeID]bool),
-		spec:      spec,
-		seed:      seed,
+		Dir:        core.NewSteppedDirectory(),
+		Nodes:      make(map[sim.NodeID]*core.Node),
+		Registry:   metrics.NewRegistry(),
+		Tracker:    metrics.NewDeliveryTracker(),
+		Oracle:     semtree.New(),
+		Contacted:  make(map[core.EventID]map[sim.NodeID]bool),
+		subsByNode: make(map[sim.NodeID][]filter.Subscription),
+		spec:       spec,
+		seed:       seed,
 	}
 	c.Engine = sim.NewEngine(sim.Config{
 		Seed: seed,
@@ -166,6 +172,17 @@ func (c *Cluster) SetParallelism(workers int) { c.Engine.SetWorkers(workers) }
 func (c *Cluster) AddNode() sim.NodeID {
 	c.nextID++
 	id := c.nextID
+	node := c.buildNode(id)
+	if err := c.Engine.Add(id, node); err != nil {
+		panic(fmt.Sprintf("experiments: engine.Add: %v", err))
+	}
+	c.Nodes[id] = node
+	return id
+}
+
+// buildNode constructs a protocol node wired to the cluster's directory,
+// hooks and metrics under the given id (fresh spawn or restart).
+func (c *Cluster) buildNode(id sim.NodeID) *core.Node {
 	cfg := core.DefaultConfig()
 	cfg.Directory = liveDirectory{Directory: c.Dir, alive: c.Engine.Alive}
 	c.spec.apply(&cfg)
@@ -189,11 +206,44 @@ func (c *Cluster) AddNode() sim.NodeID {
 	node.OnDeliverHook(func(ev core.EventID, _ filter.Event) {
 		c.Tracker.DeliverAt(metrics.EventID(ev), int64(id), c.Engine.Now())
 	})
-	if err := c.Engine.Add(id, node); err != nil {
-		panic(fmt.Sprintf("experiments: engine.Add: %v", err))
+	return node
+}
+
+// RestartNode revives a crashed node under its old id with a fresh
+// protocol instance that re-issues the identity's durable subscriptions
+// (the fail-recovery model: protocol state is lost, the subscription
+// intent survives the reboot). The oracle never forgot the member — its
+// expected-recipient sets filter by liveness at publish time — so only
+// the protocol node is rebuilt.
+func (c *Cluster) RestartNode(id sim.NodeID) {
+	node := c.buildNode(id)
+	if err := c.Engine.Restart(id, node); err != nil {
+		panic(fmt.Sprintf("experiments: engine.Restart: %v", err))
 	}
 	c.Nodes[id] = node
-	return id
+	for _, sub := range c.subsByNode[id] {
+		if err := node.Subscribe(sub); err != nil {
+			panic(fmt.Sprintf("experiments: re-subscribe after restart: %v", err))
+		}
+	}
+}
+
+// LeaveNode makes a live node withdraw every subscription it holds — a
+// graceful departure from all its groups (the node keeps running). The
+// member leaves the oracle too: events published afterwards no longer
+// expect it.
+func (c *Cluster) LeaveNode(id sim.NodeID) {
+	node := c.Nodes[id]
+	if node == nil {
+		return
+	}
+	for _, sub := range c.subsByNode[id] {
+		if err := node.Unsubscribe(sub); err != nil {
+			panic(fmt.Sprintf("experiments: unsubscribe on leave: %v", err))
+		}
+	}
+	delete(c.subsByNode, id)
+	c.Oracle.RemoveMember(semtree.MemberID(id))
 }
 
 // Subscribe registers the subscription at the node and mirrors it in the
@@ -205,6 +255,7 @@ func (c *Cluster) Subscribe(id sim.NodeID, sub filter.Subscription) error {
 	if _, err := c.Oracle.Subscribe(semtree.MemberID(id), sub); err != nil {
 		return err
 	}
+	c.subsByNode[id] = append(c.subsByNode[id], sub)
 	return nil
 }
 

@@ -59,8 +59,8 @@ func runChatter(t *testing.T, workers int, nodes NodeID, steps int, loss float64
 		OnDeliver: func(from, to NodeID, msg any) {
 			delivers = append(delivers, fmt.Sprintf("d:%d>%d:%v", from, to, msg))
 		},
-		OnDrop: func(from, to NodeID, msg any) {
-			drops = append(drops, fmt.Sprintf("x:%d>%d:%v", from, to, msg))
+		OnDrop: func(from, to NodeID, msg any, reason DropReason) {
+			drops = append(drops, fmt.Sprintf("x:%d>%d:%v:%v", from, to, msg, reason))
 		},
 	})
 	procs := make([]*chatterProc, nodes+1)

@@ -76,6 +76,35 @@ type Process interface {
 	OnTick()
 }
 
+// DropReason classifies why the engine discarded a message, so fault
+// observers can tell protocol-relevant loss (LossRate) apart from
+// structural causes (dead recipient, severed link).
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropLoss: the message lost the LossRate draw.
+	DropLoss DropReason = iota + 1
+	// DropDead: the recipient does not exist or has crashed.
+	DropDead
+	// DropPartition: sender and recipient are on opposite sides of a link
+	// cut or partition class split.
+	DropPartition
+)
+
+// String names the reason for logs and fault reports.
+func (r DropReason) String() string {
+	switch r {
+	case DropLoss:
+		return "loss"
+	case DropDead:
+		return "dead"
+	case DropPartition:
+		return "partition"
+	}
+	return "unknown"
+}
+
 // Config parameterises the engine.
 type Config struct {
 	// Seed drives all engine randomness. Two runs with equal seeds and
@@ -95,9 +124,15 @@ type Config struct {
 	OnSend func(from, to NodeID, msg any)
 	// OnDeliver, if set, observes every delivery to a live node.
 	OnDeliver func(from, to NodeID, msg any)
-	// OnDrop, if set, observes messages lost to LossRate or to dead
-	// recipients.
-	OnDrop func(from, to NodeID, msg any)
+	// OnDrop, if set, observes every discarded message with the typed
+	// reason: LossRate draws, dead recipients, or partition cuts.
+	OnDrop func(from, to NodeID, msg any, reason DropReason)
+	// OnStepBegin, if set, fires at the top of every step — after the
+	// clock advances, before services and deliveries. It is the engine's
+	// fault-injection point: mutations made here (Kill, Restart, CutLink,
+	// SetLossRate) apply to the step about to run, on the coordinator
+	// goroutine, identically under any worker count.
+	OnStepBegin func(step int64)
 }
 
 type envelope struct {
@@ -138,6 +173,14 @@ type Engine struct {
 	alive    int
 	services []Service
 
+	// Fault topology (see CutLink/SetPartitionClass): cuts holds severed
+	// links under normalized (low, high) keys; classes holds non-zero
+	// partition classes — messages crossing class boundaries drop. Both
+	// start nil and stay nil until a fault injector touches them, so the
+	// fault-free hot path pays one nil check per delivery.
+	cuts    map[linkKey]struct{}
+	classes map[NodeID]int
+
 	// Parallel-executor scratch, reused across steps (see parallel.go).
 	par *parScratch
 }
@@ -157,6 +200,79 @@ func NewEngine(cfg Config) *Engine {
 
 // Now returns the current step.
 func (e *Engine) Now() int64 { return e.step }
+
+// linkKey identifies one bidirectional link, normalized low-high.
+type linkKey struct{ a, b NodeID }
+
+func mkLink(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// CutLink severs the bidirectional link between a and b: messages in
+// either direction drop with DropPartition until HealLink. Safe to call
+// between steps (or from OnStepBegin).
+func (e *Engine) CutLink(a, b NodeID) {
+	if e.cuts == nil {
+		e.cuts = make(map[linkKey]struct{})
+	}
+	e.cuts[mkLink(a, b)] = struct{}{}
+}
+
+// HealLink restores a previously cut link. Healing an intact link is a
+// no-op.
+func (e *Engine) HealLink(a, b NodeID) {
+	delete(e.cuts, mkLink(a, b))
+}
+
+// SetPartitionClass assigns a node to a partition class. Messages whose
+// endpoints sit in different classes drop with DropPartition; the default
+// class is 0, so partitioning a population in two takes one call per node
+// of the minority side. Safe to call between steps (or from OnStepBegin).
+func (e *Engine) SetPartitionClass(id NodeID, class int) {
+	if class == 0 {
+		delete(e.classes, id)
+		return
+	}
+	if e.classes == nil {
+		e.classes = make(map[NodeID]int)
+	}
+	e.classes[id] = class
+}
+
+// ClearPartitions heals every link cut and resets all partition classes.
+func (e *Engine) ClearPartitions() {
+	e.cuts = nil
+	e.classes = nil
+}
+
+// Linked reports whether a message from a to b would pass the partition
+// topology (it may still be lost to LossRate or a dead recipient).
+func (e *Engine) Linked(a, b NodeID) bool {
+	if e.cuts != nil {
+		if _, cut := e.cuts[mkLink(a, b)]; cut {
+			return false
+		}
+	}
+	if e.classes != nil && e.classes[a] != e.classes[b] {
+		return false
+	}
+	return true
+}
+
+// SetLossRate adjusts the uniform message loss probability mid-run (loss
+// windows). Safe to call between steps (or from OnStepBegin).
+func (e *Engine) SetLossRate(rate float64) { e.cfg.LossRate = rate }
+
+// SetOnStepBegin installs (or replaces) the per-step fault hook after
+// construction — deployments that build the engine before choosing a
+// fault scenario arm the injector through this. Safe between steps only.
+func (e *Engine) SetOnStepBegin(fn func(step int64)) { e.cfg.OnStepBegin = fn }
+
+// LossRate reports the current uniform loss probability.
+func (e *Engine) LossRate() float64 { return e.cfg.LossRate }
 
 // AddService registers a step-lifecycle participant. Services are
 // notified in registration order at the start and end of every step.
@@ -196,6 +312,27 @@ func (e *Engine) Kill(id NodeID) {
 		s.alive = false
 		e.alive--
 	}
+}
+
+// Restart revives a crashed node under its old id with a fresh process —
+// the fail-recovery model: the incarnation's protocol state is gone, but
+// the identity (and its deterministic random stream) persists. Messages
+// already in flight to the id deliver to the new incarnation, like a
+// datagram crossing a reboot. Restarting a live or unknown node is an
+// error: restarts target observed crashes, never blind ids.
+func (e *Engine) Restart(id NodeID, p Process) error {
+	s, ok := e.slots[id]
+	if !ok {
+		return fmt.Errorf("sim: cannot restart unknown node %d", id)
+	}
+	if s.alive {
+		return fmt.Errorf("sim: cannot restart live node %d", id)
+	}
+	s.proc = p
+	s.alive = true
+	e.alive++
+	p.Attach(s.env)
+	return nil
 }
 
 // Alive reports whether a node exists and has not crashed.
@@ -242,6 +379,9 @@ func (e *Engine) Env(id NodeID) Env {
 // preserving the sequential executor's trace bit-for-bit.
 func (e *Engine) Step() {
 	e.step++
+	if e.cfg.OnStepBegin != nil {
+		e.cfg.OnStepBegin(e.step)
+	}
 	for _, s := range e.services {
 		s.BeginStep(e.step)
 	}
@@ -259,24 +399,30 @@ func (e *Engine) Step() {
 }
 
 // accept applies the per-envelope delivery gate shared by both
-// executors: dead recipients drop, then the loss draw (the engine
-// stream's only mid-step consumption — draw order is part of the
-// determinism contract), then the OnDeliver hook. It returns the
-// recipient's slot when the message should be handed to the node.
-// Both executors must route every envelope through this single helper,
-// or their e.rng consumption and drop decisions drift apart and the
-// bit-identical-trace contract breaks.
+// executors: dead recipients drop, then the partition topology (no
+// randomness), then the loss draw (the engine stream's only mid-step
+// consumption — draw order is part of the determinism contract), then
+// the OnDeliver hook. It returns the recipient's slot when the message
+// should be handed to the node. Both executors must route every envelope
+// through this single helper, or their e.rng consumption and drop
+// decisions drift apart and the bit-identical-trace contract breaks.
 func (e *Engine) accept(env envelope) (*slot, bool) {
 	s, ok := e.slots[env.to]
 	if !ok || !s.alive {
 		if e.cfg.OnDrop != nil {
-			e.cfg.OnDrop(env.from, env.to, env.msg)
+			e.cfg.OnDrop(env.from, env.to, env.msg, DropDead)
+		}
+		return nil, false
+	}
+	if (e.cuts != nil || e.classes != nil) && !e.Linked(env.from, env.to) {
+		if e.cfg.OnDrop != nil {
+			e.cfg.OnDrop(env.from, env.to, env.msg, DropPartition)
 		}
 		return nil, false
 	}
 	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
 		if e.cfg.OnDrop != nil {
-			e.cfg.OnDrop(env.from, env.to, env.msg)
+			e.cfg.OnDrop(env.from, env.to, env.msg, DropLoss)
 		}
 		return nil, false
 	}

@@ -148,7 +148,12 @@ func TestDeterminism(t *testing.T) {
 func TestLossRateDropsEverythingAtOne(t *testing.T) {
 	drops := 0
 	e := NewEngine(Config{Seed: 1, LossRate: 1.0,
-		OnDrop: func(from, to NodeID, msg any) { drops++ }})
+		OnDrop: func(from, to NodeID, msg any, reason DropReason) {
+			if reason != DropLoss {
+				t.Errorf("drop reason = %v, want DropLoss", reason)
+			}
+			drops++
+		}})
 	a, b := &echoProc{}, &echoProc{}
 	_ = e.Add(1, a)
 	_ = e.Add(2, b)
