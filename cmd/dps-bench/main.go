@@ -15,6 +15,13 @@
 // continuous structural-invariant checker attached; -json emits
 // per-scenario invariant verdicts and time-to-repair distributions.
 //
+// The conform experiment runs that suite through the cross-engine
+// conformance harness (internal/conform): every scenario replays on the
+// cycle engine, the goroutine runtime and the TCP engine, judged by the
+// same invariant checker plus a differential delivered-set oracle. It is
+// wall-clock bound (live engines tick in real time), so like scale it is
+// excluded from -experiment all and must be selected explicitly.
+//
 // -json replaces the rendered tables with one machine-readable JSON
 // document (run parameters, per-experiment wall-clock, full result
 // structs) for the BENCH_*.json performance trajectory and the CI
@@ -38,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dps-overlay/dps/internal/conform"
 	"github.com/dps-overlay/dps/internal/experiments"
 )
 
@@ -48,7 +56,7 @@ func main() {
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, scale, all")
+			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, conform, scale, all")
 		scale    = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
@@ -63,10 +71,10 @@ func run() int {
 	ran := false
 	report := benchReport{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	for _, exp := range registry() {
-		if want != exp.name && !(want == "all" && exp.name != "scale") {
-			// "all" covers the paper artefacts; the 50k-node scale run
-			// is orders of magnitude heavier and must be selected
-			// explicitly.
+		if want != exp.name && !(want == "all" && exp.name != "scale" && exp.name != "conform") {
+			// "all" covers the paper artefacts; the 50k-node scale run and
+			// the wall-clock-bound cross-engine conformance matrix are
+			// orders of magnitude heavier and must be selected explicitly.
 			continue
 		}
 		ran = true
@@ -244,6 +252,17 @@ func registry() []experimentEntry {
 			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
 			res, err := experiments.RunChaos(opts)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}},
+		{"conform", func(seed int64, scale float64, parallel int) (renderable, error) {
+			opts := conform.DefaultOptions()
+			opts.Seed = seed
+			opts.Workers = parallel
+			opts.Nodes = scaleInt(opts.Nodes, scale, 12)
+			res, err := conform.Run(opts)
 			if err != nil {
 				return nil, err
 			}

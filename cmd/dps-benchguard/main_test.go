@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+cpu: Intel(R) Xeon(R)
+BenchmarkTable1Protocol-8   	       2	 154179216 ns/op	54605092 B/op	  397508 allocs/op
+BenchmarkWireCodecVsGob/codec-encode         	    2000	       140.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig3a          	       2	 561580119 ns/op	         0.9358 some-custom-metric	212136660 B/op	 1413462 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := parseBenchOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(metrics), metrics)
+	}
+	// The -8 cpu suffix is stripped; ns converts to ms; allocs parse even
+	// with custom metrics in between.
+	m, ok := metrics["BenchmarkTable1Protocol"]
+	if !ok || m.AllocsPerOp != 397508 || m.MSPerOp < 154 || m.MSPerOp > 155 {
+		t.Errorf("Table1Protocol = %+v, %v", m, ok)
+	}
+	if m := metrics["BenchmarkFig3a"]; m.AllocsPerOp != 1413462 {
+		t.Errorf("Fig3a allocs = %v (custom metric confused the parser?)", m.AllocsPerOp)
+	}
+	if m := metrics["BenchmarkWireCodecVsGob/codec-encode"]; m.AllocsPerOp != 0 || m.MSPerOp <= 0 {
+		t.Errorf("codec-encode = %+v", m)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base := Baseline{
+		Benchmarks:  map[string]BenchMetric{"B": {MSPerOp: 100, AllocsPerOp: 1000}},
+		Experiments: map[string]float64{"table1": 50},
+	}
+	cases := []struct {
+		name     string
+		current  Baseline
+		failures int
+	}{
+		{"identical", base, 0},
+		{"within tolerance", Baseline{
+			Benchmarks:  map[string]BenchMetric{"B": {MSPerOp: 114, AllocsPerOp: 1100}},
+			Experiments: map[string]float64{"table1": 57},
+		}, 0},
+		{"time regression", Baseline{
+			Benchmarks: map[string]BenchMetric{"B": {MSPerOp: 120, AllocsPerOp: 1000}},
+		}, 1},
+		{"alloc regression", Baseline{
+			Benchmarks: map[string]BenchMetric{"B": {MSPerOp: 100, AllocsPerOp: 1200}},
+		}, 1},
+		{"experiment regression", Baseline{
+			Experiments: map[string]float64{"table1": 60},
+		}, 1},
+		{"improvement", Baseline{
+			Benchmarks: map[string]BenchMetric{"B": {MSPerOp: 50, AllocsPerOp: 500}},
+		}, 0},
+		{"untracked benchmark ignored", Baseline{
+			Benchmarks: map[string]BenchMetric{"New": {MSPerOp: 9999, AllocsPerOp: 9999}},
+		}, 0},
+	}
+	limits := compareLimits{AllocTol: 0.15, TimeTol: 0.15, MinTimeMS: 1}
+	for _, tc := range cases {
+		if got := compare(base, tc.current, limits); len(got) != tc.failures {
+			t.Errorf("%s: %d failures (%v), want %d", tc.name, len(got), got, tc.failures)
+		}
+	}
+}
+
+func TestCompareTimeNoiseFloorAndSplitTolerance(t *testing.T) {
+	base := Baseline{
+		Benchmarks:  map[string]BenchMetric{"Tiny": {MSPerOp: 0.0001, AllocsPerOp: 4}, "Big": {MSPerOp: 100}},
+		Experiments: map[string]float64{"analysis": 0.002},
+	}
+	limits := compareLimits{AllocTol: 0.15, TimeTol: 0.5, MinTimeMS: 1}
+	// Sub-millisecond times never gate, whatever the swing; their allocs do.
+	noisy := Baseline{
+		Benchmarks:  map[string]BenchMetric{"Tiny": {MSPerOp: 0.001, AllocsPerOp: 4}},
+		Experiments: map[string]float64{"analysis": 0.02},
+	}
+	if got := compare(base, noisy, limits); len(got) != 0 {
+		t.Errorf("noise-floor times gated: %v", got)
+	}
+	if got := compare(base, Baseline{
+		Benchmarks: map[string]BenchMetric{"Tiny": {MSPerOp: 0.0001, AllocsPerOp: 6}},
+	}, limits); len(got) != 1 {
+		t.Errorf("alloc regression under the time floor not gated: %v", got)
+	}
+	// Above the floor, the time tolerance applies.
+	if got := compare(base, Baseline{
+		Benchmarks: map[string]BenchMetric{"Big": {MSPerOp: 140}},
+	}, limits); len(got) != 0 {
+		t.Errorf("within time tolerance gated: %v", got)
+	}
+	if got := compare(base, Baseline{
+		Benchmarks: map[string]BenchMetric{"Big": {MSPerOp: 160}},
+	}, limits); len(got) != 1 {
+		t.Errorf("time regression beyond tolerance not gated: %v", got)
+	}
+}

@@ -19,6 +19,18 @@
 //
 //	dps-sim -scenario dependability -nodes 150
 //	dps-sim -scenario all -json
+//
+// -engine selects the runtime a chaos scenario replays against: "sim"
+// (default) keeps the deterministic cycle-engine harness above; "live"
+// (goroutine runtime), "tcp" (real TCP transports on loopback) or "all"
+// switch to the cross-engine conformance harness (internal/conform),
+// which always runs the cycle engine alongside as the differential
+// reference and additionally judges delivered-set agreement. -tick sets
+// the live engines' wall-clock step. The exit status covers both the
+// invariant verdicts and the differential oracle.
+//
+//	dps-sim -scenario crash-burst -engine all -nodes 24
+//	dps-sim -scenario all -engine tcp -tick 5ms -json
 package main
 
 import (
@@ -27,8 +39,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"github.com/dps-overlay/dps/internal/chaos"
+	"github.com/dps-overlay/dps/internal/conform"
 	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/experiments"
 	"github.com/dps-overlay/dps/internal/metrics"
@@ -54,6 +68,8 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		parallel    = flag.Int("parallel", 1, "engine workers: 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
 		scenario    = flag.String("scenario", "", "chaos scenario preset to run with invariant checking (see -scenario list); empty runs the plain simulation")
+		engine      = flag.String("engine", "sim", "with -scenario: engine to replay it on: sim | live | tcp | all (non-sim engines run the conformance harness against the sim reference)")
+		tick        = flag.Duration("tick", 2*time.Millisecond, "with -scenario on live engines: wall-clock duration of one step")
 		asJSON      = flag.Bool("json", false, "with -scenario: emit the machine-readable scenario report instead of the table")
 	)
 	flag.Parse()
@@ -87,7 +103,31 @@ func run() int {
 		return 2
 	}
 
+	if *scenario == "list" {
+		for _, s := range chaos.Presets() {
+			fmt.Printf("%-16s %4d steps + %3d converge, %2d events\n",
+				s.Name, s.Steps, s.Converge, len(s.Events))
+		}
+		return 0
+	}
 	if *scenario != "" {
+		if *engine != "sim" {
+			// The conformance harness has its own CI-sized population
+			// defaults (live engines pay real wall-clock and sockets per
+			// node); dps-sim's plain-simulation defaults only apply when
+			// the user set the flags explicitly.
+			set := make(map[string]bool)
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			conformNodes, conformSubs := 0, 0
+			if set["nodes"] {
+				conformNodes = *nodes
+			}
+			if set["subs"] {
+				conformSubs = *subs
+			}
+			return runConformance(*scenario, *engine, conformNodes, conformSubs, *eventEvery,
+				*seed, *parallel, *tick, *asJSON)
+		}
 		return runScenario(*scenario, cfgSpec, *nodes, *subs, *eventEvery, *seed, *parallel, *asJSON)
 	}
 
@@ -142,13 +182,6 @@ func run() int {
 // the suite's default.
 func runScenario(name string, cfgSpec experiments.ConfigSpec, nodes, subs, eventEvery int,
 	seed int64, parallel int, asJSON bool) int {
-	if name == "list" {
-		for _, s := range chaos.Presets() {
-			fmt.Printf("%-16s %4d steps + %3d converge, %2d events\n",
-				s.Name, s.Steps, s.Converge, len(s.Events))
-		}
-		return 0
-	}
 	opts := experiments.DefaultChaosOptions()
 	opts.Seed = seed
 	opts.Nodes = nodes
@@ -160,6 +193,51 @@ func runScenario(name string, cfgSpec experiments.ConfigSpec, nodes, subs, event
 		opts.Scenarios = []string{name}
 	}
 	res, err := experiments.RunChaos(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dps-sim:", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "dps-sim:", err)
+			return 1
+		}
+	} else {
+		fmt.Print(res.Render())
+	}
+	if !res.AllClean() {
+		return 1
+	}
+	return 0
+}
+
+// runConformance replays chaos scenarios through the cross-engine
+// conformance harness: the named engines (plus the sim reference) run the
+// same fault timeline and workload, judged by the invariant checker and
+// the differential delivered-set oracle. Exit status 0 requires every
+// engine invariant-clean and every differential verdict passing. A zero
+// nodes or subs keeps the harness's own CI-sized default.
+func runConformance(scenario, engine string, nodes, subs, eventEvery int,
+	seed int64, parallel int, tick time.Duration, asJSON bool) int {
+	opts := conform.DefaultOptions()
+	opts.Seed = seed
+	opts.Nodes = nodes
+	opts.SubsPerNode = subs
+	opts.EventEvery = eventEvery
+	opts.Workers = parallel
+	opts.TickEvery = tick
+	switch engine {
+	case "all":
+		opts.Engines = conform.EngineNames()
+	default:
+		opts.Engines = []string{engine}
+	}
+	if scenario != "all" {
+		opts.Scenarios = []string{scenario}
+	}
+	res, err := conform.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dps-sim:", err)
 		return 2

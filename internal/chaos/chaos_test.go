@@ -334,7 +334,7 @@ func TestInjectorAppliesTimeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj.Arm()
+	inj.Arm(eng)
 
 	eng.Run(7)
 	if eng.AliveCount() != 16 {
@@ -385,7 +385,7 @@ func TestInjectorDeterministicVictims(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		inj.Arm()
+		inj.Arm(eng)
 		eng.Run(20)
 		return fmt.Sprintf("%v|%v", inj.Applied(), pop.restarts)
 	}
@@ -409,7 +409,7 @@ func TestInjectorSurvivalFloor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj.Arm()
+	inj.Arm(eng)
 	eng.Run(10)
 	if eng.AliveCount() != 2 {
 		t.Fatalf("alive = %d, want survival floor 2", eng.AliveCount())
@@ -434,7 +434,7 @@ func TestInjectorMarksFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj.Arm()
+	inj.Arm(eng)
 	eng.Run(10)
 	// Two fault steps (2 and 6) — the two same-step events coalesce.
 	if got := ch.Unrepaired(); len(got) != 2 {

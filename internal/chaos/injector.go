@@ -7,6 +7,35 @@ import (
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
+// FaultSurface is the engine-level fault-injection surface the injector
+// drives. The deterministic cycle engine (*sim.Engine) satisfies it
+// natively; the live goroutine runtime (livenet.Hub) and the TCP engine
+// harness expose the same primitives, so one scenario timeline replays
+// against any of the three engines (see internal/conform). All methods
+// are called from the scenario driver — on the coordinator between node
+// processing for the cycle engine, from the runner goroutine for live
+// engines.
+type FaultSurface interface {
+	// Now returns the engine's current logical step (wall-clock ticks on
+	// live engines).
+	Now() int64
+	// Kill crashes a node fail-stop: it stops receiving and ticking.
+	Kill(id sim.NodeID)
+	// CutLink severs the bidirectional link between two nodes.
+	CutLink(a, b sim.NodeID)
+	// SetPartitionClass assigns a node to a partition class; traffic
+	// across class boundaries drops (class 0 is the connected default).
+	SetPartitionClass(id sim.NodeID, class int)
+	// ClearPartitions heals every cut link and partition class.
+	ClearPartitions()
+	// SetLossRate sets the uniform message-loss probability.
+	SetLossRate(rate float64)
+	// AliveIDs returns the live node ids in ascending order.
+	AliveIDs() []sim.NodeID
+	// AliveCount returns the number of live nodes.
+	AliveCount() int
+}
+
 // Population is the deployment-level surface the injector drives for
 // faults the engine alone cannot express: process restarts and open-system
 // churn. The experiment cluster implements it; all methods are called on
@@ -34,13 +63,15 @@ type Applied struct {
 	Links int `json:"links,omitempty"`
 }
 
-// Injector replays a scenario timeline against a live engine. Arm it on
-// the engine's OnStepBegin hook; each engine step it applies every event
-// whose scenario-relative step has come due, in timeline order, drawing
-// victims from its own seeded RNG — never from the engine stream — so the
-// protocol trace with faults stays bit-identical at any worker count.
+// Injector replays a scenario timeline against an engine. Drive it by
+// calling Step with every engine step (the cycle engine arms it on its
+// OnStepBegin hook; live-engine runners call it from the drive loop): it
+// applies every event whose scenario-relative step has come due, in
+// timeline order, drawing victims from its own seeded RNG — never from an
+// engine stream — so the same scenario materialises the same fault
+// timeline on any engine whose live-node id sequence matches.
 type Injector struct {
-	eng     *sim.Engine
+	eng     FaultSurface
 	pop     Population
 	checker *Checker // may be nil; notified of each fault step for TTR
 	rng     *rand.Rand
@@ -59,7 +90,7 @@ type Injector struct {
 // NewInjector builds an injector for the scenario, rooted at the engine's
 // current step (the first scenario step is the next engine step). The
 // checker may be nil. The seed governs victim selection only.
-func NewInjector(eng *sim.Engine, pop Population, checker *Checker, sc Scenario, seed int64) (*Injector, error) {
+func NewInjector(eng FaultSurface, pop Population, checker *Checker, sc Scenario, seed int64) (*Injector, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,11 +105,12 @@ func NewInjector(eng *sim.Engine, pop Population, checker *Checker, sc Scenario,
 	}, nil
 }
 
-// Arm installs the injector on the engine's per-step fault hook.
-func (inj *Injector) Arm() { inj.eng.SetOnStepBegin(inj.onStepBegin) }
+// Arm installs the injector on the cycle engine's per-step fault hook.
+// Live-engine runners skip Arm and call Step from their drive loop.
+func (inj *Injector) Arm(eng *sim.Engine) { eng.SetOnStepBegin(inj.Step) }
 
 // Disarm removes the hook (after the fault phase, before convergence).
-func (inj *Injector) Disarm() { inj.eng.SetOnStepBegin(nil) }
+func (inj *Injector) Disarm(eng *sim.Engine) { eng.SetOnStepBegin(nil) }
 
 // Done reports whether every scripted event has been applied.
 func (inj *Injector) Done() bool { return inj.idx >= len(inj.events) }
@@ -86,7 +118,10 @@ func (inj *Injector) Done() bool { return inj.idx >= len(inj.events) }
 // Applied returns the materialised fault log in application order.
 func (inj *Injector) Applied() []Applied { return inj.applied }
 
-func (inj *Injector) onStepBegin(step int64) {
+// Step applies every scripted event due at or before the given engine
+// step, in timeline order. Idempotent per step; safe to call with
+// monotonically non-decreasing steps.
+func (inj *Injector) Step(step int64) {
 	rel := step - inj.offset
 	faulted := false
 	for inj.idx < len(inj.events) && inj.events[inj.idx].Step <= rel {

@@ -1,0 +1,79 @@
+package conform
+
+import (
+	"os"
+	"testing"
+)
+
+// TestConformNightlyMatrix is the long-run conformance job — the
+// acceptance matrix of the cross-engine harness:
+//
+//   - the sim reference must end every preset invariant-clean at seeds
+//     1–3 (determinism makes one run per seed sufficient);
+//   - the livenet and tcpnet engines must end every preset
+//     invariant-clean across three independent runs each (asynchronous
+//     engines are nondeterministic — repetition is the coverage), with
+//     the differential oracle passing every run.
+//
+// It only runs when CONFORM_NIGHTLY=1 (the nightly CI cron, under
+// -race); the PR workflow keeps the single-preset smoke in
+// conform_test.go.
+func TestConformNightlyMatrix(t *testing.T) {
+	if os.Getenv("CONFORM_NIGHTLY") == "" {
+		t.Skip("nightly matrix; set CONFORM_NIGHTLY=1 to run")
+	}
+
+	// Sim reference across seeds.
+	for _, seed := range []int64{1, 2, 3} {
+		opts := DefaultOptions()
+		opts.Seed = seed
+		opts.Engines = []string{EngineSim}
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatalf("sim seed %d: %v", seed, err)
+		}
+		for _, sc := range res.Scenarios {
+			run := sc.Runs[0]
+			if !run.FinalClean {
+				t.Errorf("sim seed %d %s: final sweep dirty: %d violations %v; sample %+v",
+					seed, sc.Scenario, run.FinalCheck.Total, run.FinalCheck.ByInvariant,
+					run.FinalCheck.Sample)
+			}
+			if run.FalseDeliveries != 0 {
+				t.Errorf("sim seed %d %s: %d false deliveries", seed, sc.Scenario, run.FalseDeliveries)
+			}
+		}
+	}
+
+	// Live engines: three independent full-suite runs each.
+	for round := 0; round < 3; round++ {
+		res, err := Run(DefaultOptions())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, sc := range res.Scenarios {
+			for _, run := range sc.Runs {
+				if !run.FinalClean {
+					t.Errorf("round %d %s on %s: final sweep dirty: %d violations %v; sample %+v",
+						round, sc.Scenario, run.Engine, run.FinalCheck.Total,
+						run.FinalCheck.ByInvariant, run.FinalCheck.Sample)
+				}
+				if run.FalseDeliveries != 0 {
+					t.Errorf("round %d %s on %s: %d false deliveries",
+						round, sc.Scenario, run.Engine, run.FalseDeliveries)
+				}
+			}
+			for _, d := range sc.Diffs {
+				if !d.Pass {
+					t.Errorf("round %d %s on %s: differential oracle failed: "+
+						"agreement=%.4f (settled %d/%d pairs missing) gap=%.4f false=%d",
+						round, sc.Scenario, d.Engine, d.Agreement, d.MissingPairs,
+						d.SettledPairs, d.RatioGap, d.FalseDeliveries)
+				}
+			}
+		}
+		if testing.Verbose() {
+			t.Logf("round %d:\n%s", round, res.Render())
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/filter"
+	"github.com/dps-overlay/dps/internal/semtree"
+	"github.com/dps-overlay/dps/internal/sim"
+	"github.com/dps-overlay/dps/internal/workload"
+)
+
+// recorder is the per-run delivery oracle: it mirrors every subscription
+// in a semtree forest (the same ground-truth oracle the paper experiments
+// use), registers each tracked event's expected recipients at publish
+// time, and logs every delivery hook firing. Hook callbacks arrive on
+// peer/transport goroutines for live engines, so the log is
+// mutex-guarded; everything else is runner-goroutine only.
+type recorder struct {
+	oracle *semtree.Forest
+
+	mu        sync.Mutex
+	delivered map[core.EventID]map[sim.NodeID]bool
+
+	order    []core.EventID
+	expected map[core.EventID]map[sim.NodeID]bool
+	matching map[core.EventID]map[sim.NodeID]bool
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		oracle:    semtree.New(),
+		delivered: make(map[core.EventID]map[sim.NodeID]bool),
+		expected:  make(map[core.EventID]map[sim.NodeID]bool),
+		matching:  make(map[core.EventID]map[sim.NodeID]bool),
+	}
+}
+
+// subscribe mirrors a subscription in the oracle.
+func (r *recorder) subscribe(id sim.NodeID, sub filter.Subscription) error {
+	_, err := r.oracle.Subscribe(semtree.MemberID(id), sub)
+	return err
+}
+
+// leave removes a member from the oracle (graceful departure; crashes
+// keep their subscriptions — expected sets filter by liveness instead).
+func (r *recorder) leave(id sim.NodeID) {
+	r.oracle.RemoveMember(semtree.MemberID(id))
+}
+
+// publish registers a tracked event: matching is the oracle's
+// ground-truth member set, expected its restriction to nodes alive now.
+func (r *recorder) publish(ev core.EventID, event filter.Event, alive []sim.NodeID) {
+	liveSet := make(map[sim.NodeID]bool, len(alive))
+	for _, id := range alive {
+		liveSet[id] = true
+	}
+	match := make(map[sim.NodeID]bool)
+	exp := make(map[sim.NodeID]bool)
+	for m := range r.oracle.MatchingMembers(event) {
+		id := sim.NodeID(m)
+		match[id] = true
+		if liveSet[id] {
+			exp[id] = true
+		}
+	}
+	r.order = append(r.order, ev)
+	r.matching[ev] = match
+	r.expected[ev] = exp
+}
+
+// deliver logs one delivery hook firing (any goroutine).
+func (r *recorder) deliver(ev core.EventID, id sim.NodeID) {
+	r.mu.Lock()
+	m := r.delivered[ev]
+	if m == nil {
+		m = make(map[sim.NodeID]bool)
+		r.delivered[ev] = m
+	}
+	m[id] = true
+	r.mu.Unlock()
+}
+
+// deliverySummary freezes the recorder into the run record's counters.
+func (r *recorder) deliverySummary() (events int, expectedPairs, deliveredPairs, falseDeliveries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events = len(r.order)
+	for _, ev := range r.order {
+		expectedPairs += len(r.expected[ev])
+		for id := range r.delivered[ev] {
+			if r.expected[ev][id] {
+				deliveredPairs++
+			} else if !r.matching[ev][id] {
+				falseDeliveries++
+			}
+		}
+	}
+	return events, expectedPairs, deliveredPairs, falseDeliveries
+}
+
+// deliveredSets snapshots the per-event delivered sets restricted to
+// expected recipients — the unit of cross-engine comparison.
+func (r *recorder) deliveredSets() map[core.EventID]map[sim.NodeID]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[core.EventID]map[sim.NodeID]bool, len(r.order))
+	for _, ev := range r.order {
+		set := make(map[sim.NodeID]bool, len(r.delivered[ev]))
+		for id := range r.delivered[ev] {
+			if r.expected[ev][id] {
+				set[id] = true
+			}
+		}
+		out[ev] = set
+	}
+	return out
+}
+
+// expectedCounts snapshots the per-event expected-recipient counts.
+func (r *recorder) expectedCounts() map[core.EventID]int {
+	out := make(map[core.EventID]int, len(r.order))
+	for _, ev := range r.order {
+		out[ev] = len(r.expected[ev])
+	}
+	return out
+}
+
+// population is the deployment-side bookkeeping every engine shares:
+// sequential id allocation, durable-subscription memory for restarts, and
+// the workload generator joins draw from. All access happens on the
+// runner goroutine.
+type population struct {
+	gen     *workload.Generator
+	perNode int
+	nextID  sim.NodeID
+	subs    map[sim.NodeID][]filter.Subscription
+}
+
+func newPopulation(gen *workload.Generator, perNode int) *population {
+	return &population{
+		gen:     gen,
+		perNode: perNode,
+		subs:    make(map[sim.NodeID][]filter.Subscription),
+	}
+}
+
+func (p *population) allocID() sim.NodeID {
+	p.nextID++
+	return p.nextID
+}
+
+func (p *population) remember(id sim.NodeID, sub filter.Subscription) {
+	p.subs[id] = append(p.subs[id], sub)
+}
+
+func (p *population) forget(id sim.NodeID) []filter.Subscription {
+	subs := p.subs[id]
+	delete(p.subs, id)
+	return subs
+}
+
+func (p *population) durable(id sim.NodeID) []filter.Subscription {
+	return p.subs[id]
+}
+
+// aliveDirectory wraps a deployment directory with engine liveness for
+// the Contact walk, exactly as the experiment cluster does: the paper
+// locates entry points with random walks over live nodes, so a registry
+// draw that lands on a corpse retries (reporting the corpse) rather than
+// returning a node it just proved dead. The alive func must be safe for
+// the goroutine the directory is called from (node goroutines on live
+// engines).
+type aliveDirectory struct {
+	core.Directory
+	alive func(sim.NodeID) bool
+}
+
+func (d aliveDirectory) Contact(attr string, rng *rand.Rand) (sim.NodeID, bool) {
+	for i := 0; i < 16; i++ {
+		last, ok := d.Directory.Contact(attr, rng)
+		if !ok {
+			return 0, false
+		}
+		if d.alive(last) {
+			return last, true
+		}
+		d.Directory.DropContact(attr, last)
+	}
+	return 0, false
+}
+
+// subscriptionPlan is the two-wave bootstrap order shared by every
+// engine: the first subscription of each distinct filter goes out in a
+// creators wave (every group created exactly once), the rest join
+// settled groups — the same setup phase the paper uses, and the same
+// waves the experiment cluster feeds.
+type subscriptionPlan struct {
+	creators []plannedSub
+	joiners  []plannedSub
+}
+
+type plannedSub struct {
+	id  sim.NodeID
+	sub filter.Subscription
+}
+
+// buildPlan allocates the initial population's ids and draws its
+// subscriptions from the population's generator (advancing it — join
+// draws continue after the plan's).
+func buildPlan(pop *population, nodes int, addNode func() sim.NodeID) subscriptionPlan {
+	var plan subscriptionPlan
+	seen := make(map[string]bool, nodes)
+	for i := 0; i < nodes; i++ {
+		id := addNode()
+		for s := 0; s < pop.perNode; s++ {
+			sub := pop.gen.Subscription()
+			filters, err := filter.SubscriptionFilters(sub)
+			if err != nil {
+				panic(fmt.Sprintf("conform: generator produced an unsatisfiable subscription: %v", err))
+			}
+			key := filters[0].Key()
+			if seen[key] {
+				plan.joiners = append(plan.joiners, plannedSub{id: id, sub: sub})
+			} else {
+				seen[key] = true
+				plan.creators = append(plan.creators, plannedSub{id: id, sub: sub})
+			}
+		}
+	}
+	return plan
+}
+
+// sortedIDs returns the keys of a node-set in ascending order.
+func sortedIDs[V any](m map[sim.NodeID]V) []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -216,7 +216,7 @@ func runChaosScenario(opts ChaosOptions, sc chaos.Scenario) (ChaosScenarioResult
 	if err != nil {
 		return ChaosScenarioResult{}, err
 	}
-	inj.Arm()
+	inj.Arm(c.Engine)
 	checker.Enable(true)
 
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0xc405))
@@ -226,7 +226,7 @@ func runChaosScenario(opts ChaosOptions, sc chaos.Scenario) (ChaosScenarioResult
 		}
 		c.Engine.Step()
 	}
-	inj.Disarm()
+	inj.Disarm(c.Engine)
 	c.Engine.Run(int(sc.Converge))
 	final := checker.Check(c.Engine.Now())
 

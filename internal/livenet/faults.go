@@ -1,0 +1,91 @@
+package livenet
+
+// Fault-injection surface for the live runtime, mirroring the primitives
+// of the cycle engine (internal/sim): link cuts, partition classes, loss
+// windows and same-identity restarts. The chaos injector drives any of
+// the three engines through these shared primitives (see
+// chaos.FaultSurface and internal/conform), which is what lets one
+// scripted fault scenario replay against the goroutine runtime.
+//
+// The topology itself lives in the shared internal/faultplane model (the
+// TCP engine consults the same implementation), so partition and loss
+// semantics cannot drift between runtimes. Enforcement happens in
+// Hub.route, on the sender's goroutine, before the message reaches the
+// target inbox, with the same sim.DropReason taxonomy. Unlike the cycle
+// engine, drops here are not deterministic (the loss draw races with
+// goroutine scheduling), but the fault *topology* is exact: a severed
+// pair never exchanges a message until healed.
+
+import (
+	"sort"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// CutLink severs the bidirectional link between a and b: messages in
+// either direction drop until HealLink or ClearPartitions.
+func (h *Hub) CutLink(a, b sim.NodeID) { h.faults.CutLink(a, b) }
+
+// HealLink restores a previously cut link; healing an intact link is a
+// no-op.
+func (h *Hub) HealLink(a, b sim.NodeID) { h.faults.HealLink(a, b) }
+
+// SetPartitionClass assigns a peer to a partition class. Messages whose
+// endpoints sit in different classes drop; the default class is 0.
+func (h *Hub) SetPartitionClass(id sim.NodeID, class int) { h.faults.SetPartitionClass(id, class) }
+
+// ClearPartitions heals every link cut and resets all partition classes.
+func (h *Hub) ClearPartitions() { h.faults.ClearPartitions() }
+
+// SetLossRate adjusts the uniform message-loss probability (loss
+// windows). Draws come from the hub's own seeded stream, independent of
+// every peer stream.
+func (h *Hub) SetLossRate(rate float64) { h.faults.SetLossRate(rate) }
+
+// Linked reports whether a message between a and b would pass the current
+// partition topology (it may still be lost to the loss rate).
+func (h *Hub) Linked(a, b sim.NodeID) bool { return h.faults.Linked(a, b) }
+
+// DroppedFaults reports messages the fault plane discarded, split by
+// reason (loss draws vs partition cuts).
+func (h *Hub) DroppedFaults() (loss, partition int64) { return h.faults.Dropped() }
+
+// Kill crashes a peer fail-stop — an alias of Crash matching the cycle
+// engine's fault vocabulary, so the hub satisfies chaos.FaultSurface.
+func (h *Hub) Kill(id sim.NodeID) { h.Crash(id) }
+
+// Alive reports whether a peer exists and has not crashed.
+func (h *Hub) Alive(id sim.NodeID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.peers[id]
+	return ok
+}
+
+// AliveCount returns the number of live peers.
+func (h *Hub) AliveCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.peers)
+}
+
+// AliveIDs returns the live peer ids in ascending order.
+func (h *Hub) AliveIDs() []sim.NodeID {
+	h.mu.Lock()
+	out := make([]sim.NodeID, 0, len(h.peers))
+	for id := range h.peers {
+		out = append(out, id)
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Restart revives a crashed identity with a fresh process — the
+// fail-recovery model of sim.Engine.Restart: protocol state is gone, the
+// identity persists, and the peer draws a fresh deterministic random
+// stream salted by its incarnation count so two lives of one identity do
+// not replay each other's randomness.
+func (h *Hub) Restart(id sim.NodeID, proc sim.Process) (*Peer, error) {
+	return h.AddPeer(id, proc)
+}

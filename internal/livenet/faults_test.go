@@ -1,0 +1,168 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+// waitCond polls cond until it holds or the deadline passes — no fixed
+// sleeps, so the tests stay robust on slow or loaded machines.
+func waitCond(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// waitTicks blocks until the hub clock advances by at least n ticks —
+// the logical-time yardstick for "enough time passed" assertions.
+func waitTicks(t *testing.T, h *Hub, n int64) {
+	t.Helper()
+	target := h.Now() + n
+	if !waitCond(t, 5*time.Second, func() bool { return h.Now() >= target }) {
+		t.Fatalf("hub clock stalled at %d waiting for %d", h.Now(), target)
+	}
+}
+
+func TestCutLinkBlocksBothDirections(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	a, b := &countingProc{}, &countingProc{}
+	pa, _ := h.AddPeer(1, a)
+	pb, _ := h.AddPeer(2, b)
+
+	h.CutLink(1, 2)
+	if h.Linked(1, 2) || h.Linked(2, 1) {
+		t.Fatal("cut link still reports linked")
+	}
+	_ = pa.Do(func() { a.env.Send(2, "blocked") })
+	_ = pb.Do(func() { b.env.Send(1, "blocked") })
+	waitTicks(t, h, 20)
+	if a.count() != 0 || b.count() != 0 {
+		t.Fatalf("messages crossed a cut link: a=%d b=%d", a.count(), b.count())
+	}
+	if _, part := h.DroppedFaults(); part != 2 {
+		t.Errorf("partition drops = %d, want 2", part)
+	}
+
+	h.HealLink(1, 2)
+	_ = pa.Do(func() { a.env.Send(2, "after heal") })
+	if !waitCond(t, 5*time.Second, func() bool { return b.count() == 1 }) {
+		t.Fatal("message did not pass after HealLink")
+	}
+}
+
+func TestPartitionClassesSplitTraffic(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	procs := make([]*countingProc, 4)
+	peers := make([]*Peer, 4)
+	for i := range procs {
+		procs[i] = &countingProc{}
+		p, err := h.AddPeer(sim.NodeID(i+1), procs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	// Nodes 3 and 4 move to class 1; 1 and 2 stay in class 0.
+	h.SetPartitionClass(3, 1)
+	h.SetPartitionClass(4, 1)
+
+	_ = peers[0].Do(func() { procs[0].env.Send(2, "same side") })
+	_ = peers[2].Do(func() { procs[2].env.Send(4, "same side") })
+	_ = peers[0].Do(func() { procs[0].env.Send(3, "cross") })
+	if !waitCond(t, 5*time.Second, func() bool { return procs[1].count() == 1 && procs[3].count() == 1 }) {
+		t.Fatalf("same-side messages lost: got %d, %d", procs[1].count(), procs[3].count())
+	}
+	waitTicks(t, h, 20)
+	if procs[2].count() != 0 {
+		t.Error("message crossed the partition boundary")
+	}
+
+	h.ClearPartitions()
+	_ = peers[0].Do(func() { procs[0].env.Send(3, "healed") })
+	if !waitCond(t, 5*time.Second, func() bool { return procs[2].count() == 1 }) {
+		t.Fatal("message did not pass after ClearPartitions")
+	}
+}
+
+func TestLossWindowDropsEverythingAtRateOne(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	a, b := &countingProc{}, &countingProc{}
+	pa, _ := h.AddPeer(1, a)
+	if _, err := h.AddPeer(2, b); err != nil {
+		t.Fatal(err)
+	}
+	h.SetLossRate(1)
+	_ = pa.Do(func() {
+		for i := 0; i < 10; i++ {
+			a.env.Send(2, i)
+		}
+	})
+	waitTicks(t, h, 20)
+	if b.count() != 0 {
+		t.Fatalf("%d messages survived a rate-1 loss window", b.count())
+	}
+	if loss, _ := h.DroppedFaults(); loss != 10 {
+		t.Errorf("loss drops = %d, want 10", loss)
+	}
+	h.SetLossRate(0)
+	_ = pa.Do(func() { a.env.Send(2, "after window") })
+	if !waitCond(t, 5*time.Second, func() bool { return b.count() == 1 }) {
+		t.Fatal("message did not pass after the loss window closed")
+	}
+}
+
+func TestRestartRevivesIdentity(t *testing.T) {
+	h := NewHub(Config{TickEvery: time.Millisecond, Seed: 1})
+	defer h.Close()
+	first := &countingProc{}
+	if _, err := h.AddPeer(1, first); err != nil {
+		t.Fatal(err)
+	}
+	sender := &countingProc{}
+	ps, _ := h.AddPeer(2, sender)
+
+	h.Kill(1)
+	if h.Alive(1) {
+		t.Fatal("killed peer still alive")
+	}
+	if got := h.AliveIDs(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("AliveIDs = %v, want [2]", got)
+	}
+
+	second := &countingProc{}
+	pr, err := h.Restart(1, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Alive(1) || h.AliveCount() != 2 {
+		t.Fatal("restarted peer not alive")
+	}
+	// The new incarnation draws a fresh random stream.
+	if pr.rng.Int63() == func() int64 {
+		// What the first incarnation's stream would have produced.
+		h2 := NewHub(Config{TickEvery: time.Hour, Seed: 1})
+		defer h2.Close()
+		p, _ := h2.AddPeer(1, &countingProc{})
+		return p.rng.Int63()
+	}() {
+		t.Error("restarted incarnation replays the first life's random stream")
+	}
+	_ = ps.Do(func() { sender.env.Send(1, "hello again") })
+	if !waitCond(t, 5*time.Second, func() bool { return second.count() == 1 }) {
+		t.Fatal("restarted peer received nothing")
+	}
+	if first.count() != 0 {
+		t.Error("old incarnation received a post-restart message")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dps-overlay/dps/internal/faultplane"
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
@@ -43,9 +44,17 @@ type Hub struct {
 	cfg   Config
 	clock atomic.Int64
 
-	mu     sync.Mutex
-	peers  map[sim.NodeID]*Peer
-	closed bool
+	mu    sync.Mutex
+	peers map[sim.NodeID]*Peer
+	// incarnations counts lives per identity so a restarted peer draws a
+	// fresh random stream instead of replaying its first life's draws.
+	incarnations map[sim.NodeID]int64
+	closed       bool
+
+	// faults is the injectable fault topology (see faults.go and
+	// internal/faultplane); an all-clear plane passes everything at the
+	// cost of one atomic load per message.
+	faults *faultplane.Plane
 
 	stopTicker chan struct{}
 	tickerDone chan struct{}
@@ -61,11 +70,13 @@ func NewHub(cfg Config) *Hub {
 		cfg.InboxSize = 4096
 	}
 	h := &Hub{
-		cfg:        cfg,
-		peers:      make(map[sim.NodeID]*Peer),
-		stopTicker: make(chan struct{}),
-		tickerDone: make(chan struct{}),
+		cfg:          cfg,
+		peers:        make(map[sim.NodeID]*Peer),
+		incarnations: make(map[sim.NodeID]int64),
+		stopTicker:   make(chan struct{}),
+		tickerDone:   make(chan struct{}),
 	}
+	h.faults = faultplane.New(cfg.Seed ^ 0x10553)
 	go h.runClock()
 	return h
 }
@@ -131,12 +142,14 @@ func (h *Hub) AddPeer(id sim.NodeID, proc sim.Process) (*Peer, error) {
 		return nil, fmt.Errorf("livenet: peer %d already exists", id)
 	}
 	const mix = int64(-0x61C8864680B583EB)
+	incarnation := h.incarnations[id]
+	h.incarnations[id] = incarnation + 1
 	p := &Peer{
 		id:    id,
 		hub:   h,
 		proc:  proc,
 		inbox: make(chan inboxItem, h.cfg.InboxSize),
-		rng:   rand.New(rand.NewSource(h.cfg.Seed ^ (int64(id)+1)*mix)),
+		rng:   rand.New(rand.NewSource(h.cfg.Seed ^ (int64(id)+1)*mix ^ incarnation<<7)),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -147,13 +160,17 @@ func (h *Hub) AddPeer(id sim.NodeID, proc sim.Process) (*Peer, error) {
 	return p, nil
 }
 
-// route delivers a message to the target inbox, dropping on overflow or
-// unknown/stopped targets.
+// route delivers a message to the target inbox, dropping on overflow,
+// unknown/stopped targets, or a fault-plane verdict (cut link, partition
+// class boundary, loss-window draw — see faults.go).
 func (h *Hub) route(from, to sim.NodeID, msg any) {
 	h.mu.Lock()
 	target, ok := h.peers[to]
 	h.mu.Unlock()
 	if !ok {
+		return
+	}
+	if h.faults.Drop(from, to) != 0 {
 		return
 	}
 	select {

@@ -103,11 +103,13 @@ func TestCrashStopsPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Crash(2)
-	// Messages to the crashed peer vanish silently.
+	// Messages to the crashed peer vanish silently. "Never arrives" is
+	// asserted against the logical clock, not a wall-clock sleep: by the
+	// time 20 hub ticks elapsed, a routed message would long have landed.
 	if err := pa.Do(func() { a.env.Send(2, "into the void") }); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitTicks(t, h, 20)
 	if b.count() != 0 {
 		t.Error("crashed peer received a message")
 	}
@@ -148,15 +150,19 @@ func TestInboxOverflowDrops(t *testing.T) {
 	h.mu.Lock()
 	ps = h.peers[1]
 	h.mu.Unlock()
-	// Block the slow peer, then flood it.
+	// Block the slow peer, then flood it. Every wait is a condition
+	// poll — no scheduling-sensitive sleeps.
 	_ = pf.Do(func() { fast.env.Send(1, "first") })
-	time.Sleep(10 * time.Millisecond) // slow peer is now stuck in OnMessage
+	if !waitCond(t, 5*time.Second, func() bool { return slow.entered.Load() }) {
+		t.Fatal("slow peer never started handling the first message")
+	}
 	_ = pf.Do(func() {
 		for i := 0; i < 50; i++ {
 			fast.env.Send(1, i)
 		}
 	})
-	time.Sleep(10 * time.Millisecond)
+	// Sends land in the inbox synchronously, so the overflow has already
+	// been counted by the time Do returns.
 	if ps.Dropped() == 0 {
 		t.Error("expected inbox overflow drops")
 	}
@@ -166,11 +172,15 @@ func TestInboxOverflowDrops(t *testing.T) {
 type blockingProc struct {
 	env     sim.Env
 	release chan struct{}
+	entered atomic.Bool
 	once    sync.Once
 }
 
 func (p *blockingProc) Attach(env sim.Env) { p.env = env }
 func (p *blockingProc) OnMessage(from sim.NodeID, msg any) {
-	p.once.Do(func() { <-p.release })
+	p.once.Do(func() {
+		p.entered.Store(true)
+		<-p.release
+	})
 }
 func (p *blockingProc) OnTick() {}

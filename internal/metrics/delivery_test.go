@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDeliverAtRecordsLatencies(t *testing.T) {
+	d := NewDeliveryTracker()
+	d.Publish(1, 100, []int64{1, 2, 3})
+	d.DeliverAt(1, 1, 103) // latency 3
+	d.DeliverAt(1, 2, 110) // latency 10
+	d.DeliverAt(1, 2, 120) // duplicate delivery: no second latency sample
+	d.DeliverAt(1, 9, 105) // unexpected recipient: ignored entirely
+	d.DeliverAt(2, 1, 105) // unknown event: ignored
+
+	lats := d.Latencies()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) != 2 || lats[0] != 3 || lats[1] != 10 {
+		t.Fatalf("latencies = %v, want [3 10]", lats)
+	}
+	if got := d.Ratio(); got != 2.0/3.0 {
+		t.Errorf("ratio = %v, want 2/3", got)
+	}
+	// Latencies returns a copy: mutating it must not corrupt the tracker.
+	lats[0] = 999
+	if again := d.Latencies(); again[0] == 999 && again[1] == 999 {
+		t.Error("Latencies exposed internal state")
+	}
+}
+
+func TestDeliverAtBeforePublishIsSafe(t *testing.T) {
+	d := NewDeliveryTracker()
+	// A delivery racing ahead of Publish (possible on live engines) must
+	// not panic and must not count.
+	d.DeliverAt(7, 1, 50)
+	if got := len(d.Latencies()); got != 0 {
+		t.Errorf("latencies = %d, want 0", got)
+	}
+	d.Publish(7, 60, []int64{1})
+	d.DeliverAt(7, 1, 65)
+	if got := d.Ratio(); got != 1 {
+		t.Errorf("ratio = %v, want 1", got)
+	}
+}
+
+func TestWindowRatioAndForget(t *testing.T) {
+	d := NewDeliveryTracker()
+	d.Publish(1, 10, []int64{1, 2})
+	d.Publish(2, 100, []int64{1, 2})
+	d.Deliver(1, 1)
+	d.Deliver(1, 2)
+	d.Deliver(2, 1)
+
+	if got := d.WindowRatio(0, 50); got != 1 {
+		t.Errorf("early window = %v, want 1", got)
+	}
+	if got := d.WindowRatio(50, 200); got != 0.5 {
+		t.Errorf("late window = %v, want 0.5", got)
+	}
+	if got := d.WindowRatio(500, 600); got != 1 {
+		t.Errorf("empty window = %v, want 1 (vacuous)", got)
+	}
+
+	d.Forget(50)
+	if got := d.Events(); got != 1 {
+		t.Errorf("events after Forget = %d, want 1", got)
+	}
+	if got := d.Ratio(); got != 0.5 {
+		t.Errorf("ratio after Forget = %v, want 0.5 (only the late event remains)", got)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %d", got)
+	}
+	xs := []int64{5}
+	if got := Percentile(xs, 0); got != 5 {
+		t.Errorf("p0 of singleton = %d", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Errorf("p100 of singleton = %d", got)
+	}
+	many := []int64{9, 1, 5, 3, 7} // unsorted on purpose
+	if got := Percentile(many, 0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+	if got := Percentile(many, 1); got != 9 {
+		t.Errorf("p100 = %d, want 9", got)
+	}
+	if got := Percentile(many, 0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	// Percentile must not mutate its input.
+	if many[0] != 9 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}

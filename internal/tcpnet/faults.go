@@ -1,0 +1,31 @@
+package tcpnet
+
+// Fault injection for the TCP engine. Transports are independent
+// processes with no shared hub, so the fault topology lives in a
+// FaultPlane every Transport of a deployment shares via Config.Faults.
+// The implementation is the shared internal/faultplane model — the same
+// code the goroutine hub enforces — mirroring the cycle engine's
+// primitives (internal/sim), which is what lets chaos scenarios replay
+// against real TCP (see chaos.FaultSurface and internal/conform) with
+// partition and loss semantics that cannot drift between runtimes.
+//
+// Enforcement happens on the receive path (readLoop), after the frame is
+// decoded and before anything is learned from it: both endpoints of a
+// link consult the same plane, so gating one side is enough, and a
+// message pays exactly one loss draw. The bytes still cross the real
+// socket — the plane models a network that eats datagrams, not a broken
+// NIC. Crash and restart need no plane: a crash is Transport.Close
+// (peers see dead connections and their sends drop), and a restart is a
+// fresh Transport under the old identity.
+
+import (
+	"github.com/dps-overlay/dps/internal/faultplane"
+)
+
+// FaultPlane is the shared, concurrency-safe fault topology of one TCP
+// deployment. The zero value is not usable; build with NewFaultPlane.
+type FaultPlane = faultplane.Plane
+
+// NewFaultPlane returns an all-clear fault plane whose loss draws come
+// from the given seed.
+func NewFaultPlane(seed int64) *FaultPlane { return faultplane.New(seed) }

@@ -1,0 +1,113 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/sim"
+)
+
+func TestFaultPlaneTopology(t *testing.T) {
+	p := NewFaultPlane(1)
+	if !p.Linked(1, 2) {
+		t.Fatal("fresh plane severs links")
+	}
+	p.CutLink(2, 1) // normalization: order must not matter
+	if p.Linked(1, 2) || p.Linked(2, 1) {
+		t.Fatal("cut link reports linked")
+	}
+	if r := p.Drop(1, 2); r != sim.DropPartition {
+		t.Fatalf("drop reason = %v, want partition", r)
+	}
+	p.HealLink(1, 2)
+	if !p.Linked(1, 2) {
+		t.Fatal("healed link still severed")
+	}
+
+	p.SetPartitionClass(3, 1)
+	if p.Linked(1, 3) {
+		t.Fatal("cross-class pair reports linked")
+	}
+	if !p.Linked(3, 3) {
+		t.Fatal("same node same class must be linked")
+	}
+	p.SetPartitionClass(3, 0)
+	if !p.Linked(1, 3) {
+		t.Fatal("class reset did not reconnect")
+	}
+
+	p.SetLossRate(1)
+	if r := p.Drop(1, 2); r != sim.DropLoss {
+		t.Fatalf("drop reason = %v, want loss", r)
+	}
+	p.SetLossRate(0)
+	if r := p.Drop(1, 2); r != 0 {
+		t.Fatalf("clear plane dropped with reason %v", r)
+	}
+	if loss, part := p.Dropped(); loss != 1 || part != 1 {
+		t.Fatalf("Dropped() = %d, %d; want 1, 1", loss, part)
+	}
+
+	p.CutLink(1, 2)
+	p.SetPartitionClass(5, 2)
+	p.ClearPartitions()
+	if !p.Linked(1, 2) || !p.Linked(1, 5) {
+		t.Fatal("ClearPartitions left topology faults behind")
+	}
+}
+
+// recordingProc counts raw inbound protocol messages.
+type recordingProc struct {
+	mu   sync.Mutex
+	msgs int
+}
+
+func (p *recordingProc) Attach(env sim.Env)                 {}
+func (p *recordingProc) OnMessage(from sim.NodeID, msg any) { p.mu.Lock(); p.msgs++; p.mu.Unlock() }
+func (p *recordingProc) OnTick()                            {}
+func (p *recordingProc) count() int                         { p.mu.Lock(); defer p.mu.Unlock(); return p.msgs }
+
+func TestFaultPlaneGatesTransportReceivePath(t *testing.T) {
+	plane := NewFaultPlane(1)
+	rec := &recordingProc{}
+	recv, err := New(Config{ID: 2, Listen: "127.0.0.1:0", TickEvery: time.Millisecond, Faults: plane}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := New(Config{ID: 1, Listen: "127.0.0.1:0", TickEvery: time.Millisecond, Faults: plane}, &recordingProc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	send.AddPeer(2, recv.Addr())
+
+	payload := core.WireSamples()[0]
+	deliver := func() { _ = send.Do(func() { send.send(2, payload) }) }
+
+	plane.CutLink(1, 2)
+	deliver()
+	if !waitUntil(t, 5*time.Second, func() bool { _, part := plane.Dropped(); return part >= 1 }) {
+		t.Fatal("cut frame never reached the plane")
+	}
+	if rec.count() != 0 {
+		t.Fatal("frame crossed a cut link")
+	}
+
+	plane.ClearPartitions()
+	deliver()
+	if !waitUntil(t, 5*time.Second, func() bool { return rec.count() == 1 }) {
+		t.Fatalf("frame did not pass after heal: count=%d", rec.count())
+	}
+
+	plane.SetLossRate(1)
+	deliver()
+	if !waitUntil(t, 5*time.Second, func() bool { loss, _ := plane.Dropped(); return loss >= 1 }) {
+		t.Fatal("loss-window frame never reached the plane")
+	}
+	if rec.count() != 1 {
+		t.Fatal("frame survived a rate-1 loss window")
+	}
+}

@@ -39,6 +39,10 @@ type Config struct {
 	Seed int64
 	// InboxSize bounds buffered inbound work; overflow drops (default 4096).
 	InboxSize int
+	// Faults, when set, is the deployment-shared fault topology (link
+	// cuts, partition classes, loss windows) this transport consults on
+	// its receive path — see FaultPlane. Nil passes everything.
+	Faults *FaultPlane
 }
 
 // Transport hosts one DPS node over TCP. It implements the engine side of
@@ -246,6 +250,12 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if err != nil {
 			t.dropped.Add(1)
 			return // corrupt frame: fatal for this connection
+		}
+		if t.cfg.Faults != nil && t.cfg.Faults.Drop(from, t.cfg.ID) != 0 {
+			// Injected fault: the frame vanishes whole — not even the
+			// sender's return address is learned from it (a real severed
+			// network leaks nothing), and the connection stays.
+			continue
 		}
 		if addr != "" {
 			t.AddPeer(from, addr) // learn return paths

@@ -97,7 +97,31 @@ func TestPubSubOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(100 * time.Millisecond) // joins settle across TCP
+	// Wait for the joins to settle across TCP by condition, not by a
+	// fixed sleep: both subscribers must hold an active membership with a
+	// known leader before the publish goes out.
+	settled := func() bool {
+		for _, n := range nodes[:2] {
+			ok := false
+			nn := n
+			if err := nn.tr.Do(func() {
+				for _, info := range nn.node.Inspect() {
+					if info.State == "active" && info.Leader != 0 {
+						ok = true
+					}
+				}
+			}); err != nil {
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !waitUntil(t, 10*time.Second, settled) {
+		t.Fatal("subscriber joins never settled")
+	}
 
 	ev, _ := filter.ParseEvent("price=200, sym=acme")
 	if err := nodes[2].tr.Do(func() {

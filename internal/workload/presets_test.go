@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/filter"
+)
+
+// The preset specs encode the paper's Table 1 workload parameters; these
+// tests pin them structurally so a refactor cannot silently change the
+// evaluation's inputs.
+
+func TestPresetSuite(t *testing.T) {
+	presets := Presets()
+	if len(presets) != 3 {
+		t.Fatalf("presets = %d, want 3", len(presets))
+	}
+	wantNames := []string{"workload1", "workload2", "workload3"}
+	for i, spec := range presets {
+		if spec.Name != wantNames[i] {
+			t.Errorf("preset %d = %q, want %q", i, spec.Name, wantNames[i])
+		}
+		// Every preset must produce a working generator.
+		if _, err := NewGenerator(spec, 1); err != nil {
+			t.Errorf("%s: NewGenerator: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestWorkload1Spec(t *testing.T) {
+	spec := Workload1()
+	if spec.Mode != OneAttr {
+		t.Error("workload1 must constrain one attribute per subscription")
+	}
+	if len(spec.Attrs) != 2 {
+		t.Fatalf("attrs = %d, want 2", len(spec.Attrs))
+	}
+	price, sym := spec.Attrs[0], spec.Attrs[1]
+	if price.Name != "price" || price.Type != filter.TypeInt {
+		t.Errorf("attr 0 = %s/%v, want numeric price", price.Name, price.Type)
+	}
+	if price.EventDist != Uniform || price.SubDist != Zipf {
+		t.Error("price: events uniform, subscriptions zipf (paper Table 1)")
+	}
+	if price.RangeFrac != 0.10 || price.EqFrac != 0.50 {
+		t.Errorf("price fractions = %v ranges / %v equalities, want 0.10 / 0.50",
+			price.RangeFrac, price.EqFrac)
+	}
+	if sym.Name != "sym" || sym.Type != filter.TypeString {
+		t.Errorf("attr 1 = %s/%v, want string sym", sym.Name, sym.Type)
+	}
+	if len(sym.Dictionary) != DictionarySize {
+		t.Errorf("dictionary = %d entries, want the paper's %d", len(sym.Dictionary), DictionarySize)
+	}
+	if sym.EqFrac != 0.50 || sym.PrefixMin != 2 || sym.PrefixMax != 4 {
+		t.Error("sym: 50% equalities, prefixes of 2-4 letters")
+	}
+}
+
+func TestWorkload2Spec(t *testing.T) {
+	spec := Workload2()
+	if spec.Mode != AllAttrs {
+		t.Error("workload2 subscriptions must constrain both coordinates")
+	}
+	if len(spec.Attrs) != 2 || spec.Attrs[0].Name != "x" || spec.Attrs[1].Name != "y" {
+		t.Fatalf("attrs = %+v, want x and y", spec.Attrs)
+	}
+	for _, a := range spec.Attrs {
+		if a.RangeFrac != 0.50 || a.EqFrac != 0 {
+			t.Errorf("%s: 50%% ranges and no equalities expected", a.Name)
+		}
+		if a.Quantum != a.Domain/20 {
+			t.Errorf("%s: zones must snap to 1/20th of the plane (quantum %d, domain %d)",
+				a.Name, a.Quantum, a.Domain)
+		}
+		if a.SubDist != Uniform || a.EventDist != Uniform {
+			t.Errorf("%s: uniform events and subscriptions expected", a.Name)
+		}
+	}
+}
+
+func TestWorkload3Spec(t *testing.T) {
+	spec := Workload3()
+	if spec.Mode != AllAttrs {
+		t.Error("workload3 subscriptions must constrain all three attributes")
+	}
+	if len(spec.Attrs) != 3 {
+		t.Fatalf("attrs = %d, want 3", len(spec.Attrs))
+	}
+	for _, a := range spec.Attrs {
+		if a.EventDist != Zipf || a.SubDist != Zipf {
+			t.Errorf("%s: zipf events and subscriptions expected", a.Name)
+		}
+		if a.RangeFrac != 0.20 || a.EqFrac != 0.20 {
+			t.Errorf("%s: 20%% ranges / 20%% equalities expected", a.Name)
+		}
+		if a.ZipfS <= 1 {
+			t.Errorf("%s: zipf exponent %v must exceed 1", a.Name, a.ZipfS)
+		}
+		if a.SubOffsetFrac <= 0 {
+			t.Errorf("%s: alert thresholds need a positive offset", a.Name)
+		}
+	}
+}
+
+func TestDictionaryPrefixStructure(t *testing.T) {
+	dict := Dictionary(DictionarySize, 500)
+	if len(dict) != DictionarySize {
+		t.Fatalf("dictionary = %d entries", len(dict))
+	}
+	// Syllable-built words: 3-9 lowercase letters, with enough shared
+	// 2-letter prefixes that prefix wildcards behave like tickers.
+	prefixes := make(map[string]int)
+	for _, w := range dict {
+		if len(w) < 3 || len(w) > 15 {
+			t.Errorf("word %q has unexpected length", w)
+		}
+		if w != strings.ToLower(w) {
+			t.Errorf("word %q is not lowercase", w)
+		}
+		prefixes[w[:2]]++
+	}
+	shared := 0
+	for _, n := range prefixes {
+		if n > 1 {
+			shared += n
+		}
+	}
+	if float64(shared)/float64(len(dict)) < 0.5 {
+		t.Errorf("only %d/%d words share a 2-letter prefix; wildcards would rarely match", shared, len(dict))
+	}
+}
+
+func TestDistStringAndSpecAccessor(t *testing.T) {
+	if Uniform.String() != "unif" || Zipf.String() != "zipf" {
+		t.Errorf("dist names = %q, %q", Uniform.String(), Zipf.String())
+	}
+	gen := MustGenerator(Workload2(), 1)
+	if gen.Spec().Name != "workload2" {
+		t.Errorf("Spec() = %q", gen.Spec().Name)
+	}
+}
+
+func TestMustGeneratorPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerator accepted an invalid spec")
+		}
+	}()
+	MustGenerator(Spec{Name: "empty"}, 1)
+}
+
+// TestPresetEventsStayInDomain draws from every preset and checks the
+// generated values respect the declared domains and dictionary.
+func TestPresetEventsStayInDomain(t *testing.T) {
+	for _, spec := range Presets() {
+		gen := MustGenerator(spec, 7)
+		dict := make(map[string]bool)
+		for _, a := range spec.Attrs {
+			for _, w := range a.Dictionary {
+				dict[w] = true
+			}
+		}
+		for i := 0; i < 200; i++ {
+			ev := gen.Event()
+			for _, a := range spec.Attrs {
+				v, ok := ev.Value(a.Name)
+				if !ok {
+					t.Fatalf("%s: event misses attribute %s", spec.Name, a.Name)
+				}
+				switch a.Type {
+				case filter.TypeInt:
+					if v.Int < 0 || v.Int >= int64(a.Domain) {
+						t.Fatalf("%s: %s = %d outside [0, %d)", spec.Name, a.Name, v.Int, a.Domain)
+					}
+				case filter.TypeString:
+					if !dict[v.Str] {
+						t.Fatalf("%s: %s = %q not in the dictionary", spec.Name, a.Name, v.Str)
+					}
+				}
+			}
+		}
+	}
+}
