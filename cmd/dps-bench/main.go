@@ -11,9 +11,12 @@
 //	dps-bench -experiment chaos -json
 //
 // The chaos experiment runs the scripted fault suite of internal/chaos
-// (crash bursts, restarts, partitions, loss windows, churn) with the
-// continuous structural-invariant checker attached; -json emits
-// per-scenario invariant verdicts and time-to-repair distributions.
+// (crash bursts, restarts, partitions, loss windows, churn, structural
+// corruption) with the continuous structural-invariant checker attached;
+// -json emits per-scenario invariant verdicts and time-to-repair
+// distributions. The chaos-corruption experiment isolates the two
+// corruption presets (corruption, byzantine-state) so the benchmark
+// guard tracks the repair machinery's wall-clock on its own line.
 //
 // The conform experiment runs that suite through the cross-engine
 // conformance harness (internal/conform): every scenario replays on the
@@ -56,7 +59,7 @@ func main() {
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, conform, scale, all")
+			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, chaos-corruption, conform, scale, all")
 		scale    = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
@@ -251,6 +254,21 @@ func registry() []experimentEntry {
 			opts.Seed = seed
 			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
+			res, err := experiments.RunChaos(opts)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}},
+		{"chaos-corruption", func(seed int64, scale float64, parallel int) (renderable, error) {
+			opts := experiments.DefaultChaosOptions()
+			opts.Seed = seed
+			opts.Parallelism = parallel
+			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
+			// Only the structural-corruption presets: the plain chaos
+			// experiment covers the whole suite, this line isolates the
+			// bounded-repair machinery for the regression guard.
+			opts.Scenarios = []string{"corruption", "byzantine-state"}
 			res, err := experiments.RunChaos(opts)
 			if err != nil {
 				return nil, err

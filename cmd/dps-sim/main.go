@@ -13,9 +13,12 @@
 // -scenario switches to the chaos harness: the named fault-scenario
 // preset (crash bursts, restarts, partitions, loss windows, churn) runs
 // with the continuous structural-invariant checker attached, and the exit
-// status reports whether every scenario ended invariant-clean. Use
-// "-scenario list" to enumerate presets, "-scenario all" for the suite,
-// and -json for the machine-readable report.
+// status reports whether every scenario ended invariant-clean inside its
+// declared repair bound. Use "-scenario list" to enumerate presets (one
+// description line each, with the repair bound), "-scenario all" for the
+// suite, and -json for the machine-readable report (per-invariant
+// verdicts plus the p50/p99 time-to-repair distribution per fault kind).
+// A failing (scenario, engine) cell fails the run and is named on stderr.
 //
 //	dps-sim -scenario dependability -nodes 150
 //	dps-sim -scenario all -json
@@ -105,8 +108,12 @@ func run() int {
 
 	if *scenario == "list" {
 		for _, s := range chaos.Presets() {
-			fmt.Printf("%-16s %4d steps + %3d converge, %2d events\n",
-				s.Name, s.Steps, s.Converge, len(s.Events))
+			bound := "unbounded"
+			if s.MaxTTR > 0 {
+				bound = fmt.Sprintf("ttr ≤ %d", s.MaxTTR)
+			}
+			fmt.Printf("%-16s %4d steps + %3d converge, %2d events, %-10s  %s\n",
+				s.Name, s.Steps, s.Converge, len(s.Events), bound, s.Description)
 		}
 		return 0
 	}
@@ -208,6 +215,18 @@ func runScenario(name string, cfgSpec experiments.ConfigSpec, nodes, subs, event
 		fmt.Print(res.Render())
 	}
 	if !res.AllClean() {
+		// Name every failing scenario on stderr so -json runs and CI logs
+		// see the verdict without parsing the report.
+		for _, s := range res.Scenarios {
+			switch {
+			case !s.FinalClean:
+				fmt.Fprintf(os.Stderr, "dps-sim: FAIL %s/sim: final sweep dirty (%d violations)\n",
+					s.Scenario, s.FinalCheck.Total)
+			case !s.WithinBound:
+				fmt.Fprintf(os.Stderr, "dps-sim: FAIL %s/sim: repair bound %d exceeded (ttr max %d, %d unrepaired)\n",
+					s.Scenario, s.MaxTTR, s.TTR.Max, len(s.Unrepaired))
+			}
+		}
 		return 1
 	}
 	return 0
@@ -252,7 +271,12 @@ func runConformance(scenario, engine string, nodes, subs, eventEvery int,
 	} else {
 		fmt.Print(res.Render())
 	}
-	if !res.AllClean() {
+	if cells := res.FailingCells(); len(cells) > 0 {
+		// One failing (scenario, engine) cell fails the whole matrix; name
+		// each on stderr so -json runs and CI logs see which cell it was.
+		for _, c := range cells {
+			fmt.Fprintln(os.Stderr, "dps-sim: FAIL", c)
+		}
 		return 1
 	}
 	return 0

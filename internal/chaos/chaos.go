@@ -37,6 +37,8 @@ package chaos
 import (
 	"fmt"
 	"sort"
+
+	"github.com/dps-overlay/dps/internal/core"
 )
 
 // ActionKind enumerates the fault actions a scenario timeline can script.
@@ -65,6 +67,13 @@ const (
 	// Leave makes Count random live subscribers withdraw all their
 	// subscriptions gracefully (churn departure wave).
 	Leave
+	// Corrupt forces Count random live nodes into the named illegal state
+	// (Op) through core.Node.ApplyCorruption — the structural-corruption
+	// fault family. Unlike every other kind, Corrupt perturbs protocol
+	// *state* rather than the process/network layer: it is the
+	// self-stabilization probe (convergence from an arbitrary illegal
+	// configuration, not merely from crash-reachable ones).
+	Corrupt
 )
 
 // String names the action for reports.
@@ -86,6 +95,8 @@ func (k ActionKind) String() string {
 		return "join"
 	case Leave:
 		return "leave"
+	case Corrupt:
+		return "corrupt"
 	}
 	return "unknown"
 }
@@ -99,16 +110,26 @@ type Event struct {
 	Frac  float64    `json:"frac,omitempty"`
 	Class int        `json:"class,omitempty"`
 	Rate  float64    `json:"rate,omitempty"`
+	// Op names the corruption applied by a Corrupt event.
+	Op core.CorruptionKind `json:"op,omitempty"`
 }
 
 // Scenario is a scripted fault timeline: Events play out over Steps
 // engine steps (scenario-relative), then the overlay gets Converge
 // fault-free steps to repair before the final invariant verdict.
 type Scenario struct {
-	Name     string  `json:"name"`
-	Steps    int64   `json:"steps"`
-	Converge int64   `json:"converge"`
-	Events   []Event `json:"events"`
+	Name string `json:"name"`
+	// Description is the one-line summary `dps-sim -scenario list` prints.
+	Description string  `json:"description,omitempty"`
+	Steps       int64   `json:"steps"`
+	Converge    int64   `json:"converge"`
+	Events      []Event `json:"events"`
+	// MaxTTR, when non-zero, declares the scenario's time-to-repair bound:
+	// every fault must be followed by an all-clean invariant sweep within
+	// MaxTTR steps. Runners report a bound verdict alongside the final
+	// clean verdict; the corruption presets ship with declared bounds (the
+	// bounded-repair guarantee), the crash/partition presets without.
+	MaxTTR int64 `json:"max_ttr,omitempty"`
 }
 
 // sorted returns the events in ascending step order (stable), which the
@@ -145,6 +166,14 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("chaos: scenario %q event %d splits into class 0 (use a non-zero class)",
 				s.Name, i)
 		}
+		if ev.Kind == Corrupt && ev.Op.String() == "unknown" {
+			return fmt.Errorf("chaos: scenario %q event %d corrupts with unknown op %d",
+				s.Name, i, ev.Op)
+		}
+		if ev.Kind != Corrupt && ev.Op != 0 {
+			return fmt.Errorf("chaos: scenario %q event %d sets a corruption op on a %s event",
+				s.Name, i, ev.Kind)
+		}
 	}
 	return nil
 }
@@ -163,6 +192,8 @@ func Presets() []Scenario {
 		LossWindow(),
 		ChurnWave(),
 		Dependability(),
+		Corruption(),
+		ByzantineState(),
 	}
 }
 
@@ -191,9 +222,10 @@ func PresetNames() []string {
 // must rebuild every tree.
 func CrashBurst() Scenario {
 	return Scenario{
-		Name:     "crash-burst",
-		Steps:    400,
-		Converge: 300,
+		Name:        "crash-burst",
+		Description: "kill 20% of the population at once; repair must rebuild every tree",
+		Steps:       400,
+		Converge:    300,
 		Events: []Event{
 			{Step: 60, Kind: Crash, Frac: 0.20},
 		},
@@ -205,9 +237,10 @@ func CrashBurst() Scenario {
 // restarted subscribers into the repaired trees, not duplicate them.
 func RestartChurn() Scenario {
 	return Scenario{
-		Name:     "restart-churn",
-		Steps:    560,
-		Converge: 350,
+		Name:        "restart-churn",
+		Description: "crash 10% twice and revive the same identities with fresh state",
+		Steps:       560,
+		Converge:    350,
 		Events: []Event{
 			{Step: 60, Kind: Crash, Frac: 0.10},
 			{Step: 200, Kind: Restart},
@@ -223,9 +256,10 @@ func RestartChurn() Scenario {
 // overlays back into one legal configuration.
 func PartitionHeal() Scenario {
 	return Scenario{
-		Name:     "partition-heal",
-		Steps:    500,
-		Converge: 400,
+		Name:        "partition-heal",
+		Description: "split off 40% for ~200 steps, then heal and re-merge the overlays",
+		Steps:       500,
+		Converge:    400,
 		Events: []Event{
 			{Step: 60, Kind: Split, Frac: 0.40, Class: 1},
 			{Step: 260, Kind: Heal},
@@ -238,9 +272,10 @@ func PartitionHeal() Scenario {
 // and lost repair messages must be retried.
 func LossWindow() Scenario {
 	return Scenario{
-		Name:     "loss-window",
-		Steps:    460,
-		Converge: 350,
+		Name:        "loss-window",
+		Description: "30% uniform message loss with a small crash burst mid-window",
+		Steps:       460,
+		Converge:    350,
 		Events: []Event{
 			{Step: 60, Kind: SetLoss, Rate: 0.30},
 			{Step: 160, Kind: Crash, Frac: 0.05},
@@ -254,9 +289,10 @@ func LossWindow() Scenario {
 // concurrently with repair.
 func ChurnWave() Scenario {
 	sc := Scenario{
-		Name:     "churn-wave",
-		Steps:    520,
-		Converge: 400,
+		Name:        "churn-wave",
+		Description: "interleaved join/leave waves with scattered crashes (open system)",
+		Steps:       520,
+		Converge:    400,
 	}
 	for step := int64(60); step < 260; step += 20 {
 		sc.Events = append(sc.Events, Event{Step: step, Kind: Join, Count: 2})
@@ -275,9 +311,10 @@ func ChurnWave() Scenario {
 // final crash-restart cycle.
 func Dependability() Scenario {
 	return Scenario{
-		Name:     "dependability",
-		Steps:    760,
-		Converge: 400,
+		Name:        "dependability",
+		Description: "combined crash burst, partition + loss window, link cuts, restart",
+		Steps:       760,
+		Converge:    400,
 		Events: []Event{
 			{Step: 60, Kind: Crash, Frac: 0.15},
 			{Step: 220, Kind: Split, Frac: 0.30, Class: 1},
@@ -288,6 +325,59 @@ func Dependability() Scenario {
 			{Step: 520, Kind: Heal},
 			{Step: 560, Kind: Crash, Frac: 0.08},
 			{Step: 650, Kind: Restart},
+		},
+	}
+}
+
+// Corruption walks the whole structural-corruption fault family through a
+// converged overlay, one op class at a time: semantic drift (widened
+// parents), dangling predviews, forged views with phantom leaders,
+// leadership deference cycles, view-symmetry breaks, and a split-brain
+// duplicate root. Each burst gets the detection machinery's timescales
+// (suspicion after ~50 steps, view exchange every 30) to repair before the
+// next lands; the declared MaxTTR is the bounded-repair guarantee.
+func Corruption() Scenario {
+	return Scenario{
+		Name:        "corruption",
+		Description: "every corruption op in sequence; bounded repair from each illegal state",
+		Steps:       480,
+		Converge:    400,
+		MaxTTR:      340,
+		Events: []Event{
+			{Step: 60, Kind: Corrupt, Op: core.CorruptWidenParent, Count: 2},
+			{Step: 140, Kind: Corrupt, Op: core.CorruptDanglingParent, Count: 2},
+			{Step: 220, Kind: Corrupt, Op: core.CorruptViewBreak, Count: 2},
+			{Step: 300, Kind: Corrupt, Op: core.CorruptDeferenceCycle, Count: 2},
+			{Step: 380, Kind: Corrupt, Op: core.CorruptForgedView, Count: 2},
+			{Step: 440, Kind: Corrupt, Op: core.CorruptSplitBrainRoot, Count: 1},
+		},
+	}
+}
+
+// ByzantineState is the corrupt-at-start scenario: the overlay begins the
+// timeline already illegal — split-brain duplicate roots seeded at the
+// first step — and takes mixed corruption bursts plus a crash while still
+// repairing, so corruption-repair paths run concurrently with the
+// crash-repair machinery they share code with.
+func ByzantineState() Scenario {
+	return Scenario{
+		Name:        "byzantine-state",
+		Description: "split-brain roots seeded at t=0 plus mixed corruption under crashes",
+		Steps:       420,
+		Converge:    420,
+		// The declared repair bound covers the worst-case StrictRepair
+		// path: the bounded-join backstop anchors after the retry budget
+		// (11 retries x 30-tick period ≈ 330 ticks), then suspicion
+		// timeouts and view reconciliation close the fault — observed
+		// tails reach ~425 ticks across seeds.
+		MaxTTR: 460,
+		Events: []Event{
+			{Step: 1, Kind: Corrupt, Op: core.CorruptSplitBrainRoot, Count: 2},
+			{Step: 100, Kind: Corrupt, Op: core.CorruptDeferenceCycle, Count: 2},
+			{Step: 100, Kind: Corrupt, Op: core.CorruptForgedView, Count: 2},
+			{Step: 180, Kind: Crash, Frac: 0.10},
+			{Step: 260, Kind: Corrupt, Op: core.CorruptViewBreak, Count: 2},
+			{Step: 260, Kind: Corrupt, Op: core.CorruptWidenParent, Count: 2},
 		},
 	}
 }

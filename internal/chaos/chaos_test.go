@@ -186,6 +186,55 @@ func TestCheckerDetectsJoiningSubscriber(t *testing.T) {
 	wantViolation(t, rec, InvNoOrphans, "still joining")
 }
 
+// TestCheckerDetectsDeferenceChain pins the group-level leadership clause:
+// two live holders of one group each believing the other leads is illegal
+// even though every per-instance clause (live holder leader) passes.
+func TestCheckerDetectsDeferenceChain(t *testing.T) {
+	w := legalWorld(t)
+	childAF := af(t, "price < 100")
+	rootAF := filter.UniversalFilter("price")
+	w.snaps[2][0].Leader = 3
+	w.snaps[2][0].Members = []sim.NodeID{2, 3}
+	w.snaps[3] = []core.MembershipSnapshot{{
+		Key: childAF.Key(), AF: childAF, Leader: 2,
+		Members: []sim.NodeID{2, 3},
+		Parent:  core.Branch{AF: rootAF, Nodes: []sim.NodeID{1}},
+	}}
+	rec := sweep(t, w)
+	wantViolation(t, rec, InvViewSymmetry, "no instance acknowledges leadership")
+}
+
+// TestCheckerDetectsSplitBrainRoots pins the split-brain clause: two root
+// instances each claiming tree leadership for themselves. A mirror naming
+// the owner as leader stays legal.
+func TestCheckerDetectsSplitBrainRoots(t *testing.T) {
+	w := legalWorld(t)
+	rootAF := filter.UniversalFilter("price")
+	w.snaps[2] = append(w.snaps[2], core.MembershipSnapshot{
+		Key: rootAF.Key(), AF: rootAF, IsRoot: true, Leader: 2,
+		Members: []sim.NodeID{2},
+	})
+	rec := sweep(t, w)
+	wantViolation(t, rec, InvConnected, "split-brain")
+
+	// The same second instance as a legal co-owner mirror: clean.
+	w.snaps[2][1].Leader = 1
+	w.snaps[2][1].Members = []sim.NodeID{1, 2}
+	if rec := sweep(t, w); rec.ByInvariant[InvConnected] != 0 {
+		t.Fatalf("legal root mirror flagged: %+v", rec)
+	}
+}
+
+// TestCheckerDetectsWidenedParentFilter pins the containment clause against
+// the widened-parent corruption: a predview label that fails to include the
+// group's own filter (semantic drift delivery ratios cannot see).
+func TestCheckerDetectsWidenedParentFilter(t *testing.T) {
+	w := legalWorld(t)
+	w.snaps[2][0].Parent.AF = af(t, "price > 500")
+	rec := sweep(t, w)
+	wantViolation(t, rec, InvContainment, "does not include group filter")
+}
+
 func TestCheckerEpidemicModeSkipsLeaderClauses(t *testing.T) {
 	w := legalWorld(t)
 	w.snaps[1][0].Leader = 0
@@ -256,6 +305,14 @@ func TestScenarioValidate(t *testing.T) {
 			Events: []Event{{Step: 1, Kind: SetLoss, Rate: 1.5}}}, false},
 		{"bad-frac", Scenario{Name: "x", Steps: 10,
 			Events: []Event{{Step: 1, Kind: Crash, Frac: 2}}}, false},
+		{"corrupt", Scenario{Name: "x", Steps: 10,
+			Events: []Event{{Step: 1, Kind: Corrupt, Op: core.CorruptDanglingParent}}}, true},
+		{"corrupt-unknown-op", Scenario{Name: "x", Steps: 10,
+			Events: []Event{{Step: 1, Kind: Corrupt, Op: 99}}}, false},
+		{"corrupt-missing-op", Scenario{Name: "x", Steps: 10,
+			Events: []Event{{Step: 1, Kind: Corrupt}}}, false},
+		{"op-on-crash", Scenario{Name: "x", Steps: 10,
+			Events: []Event{{Step: 1, Kind: Crash, Count: 1, Op: core.CorruptViewBreak}}}, false},
 	}
 	for _, tc := range cases {
 		if err := tc.sc.Validate(); (err == nil) != tc.ok {
@@ -267,8 +324,26 @@ func TestScenarioValidate(t *testing.T) {
 			t.Errorf("preset %s invalid: %v", sc.Name, err)
 		}
 	}
-	if names := PresetNames(); len(names) != 6 {
-		t.Errorf("PresetNames = %v, want 6 presets", names)
+	if names := PresetNames(); len(names) != 8 {
+		t.Errorf("PresetNames = %v, want 8 presets", names)
+	}
+	for _, sc := range Presets() {
+		if sc.Description == "" {
+			t.Errorf("preset %s has no description", sc.Name)
+		}
+	}
+	for _, name := range []string{"corruption", "byzantine-state"} {
+		sc, ok := Preset(name)
+		if !ok {
+			t.Fatalf("Preset(%s) not found", name)
+		}
+		if sc.MaxTTR <= 0 {
+			t.Errorf("%s declares no time-to-repair bound", name)
+		}
+		if sc.MaxTTR > sc.Steps+sc.Converge {
+			t.Errorf("%s bound %d not observable within %d steps",
+				name, sc.MaxTTR, sc.Steps+sc.Converge)
+		}
 	}
 	if _, ok := Preset("crash-burst"); !ok {
 		t.Error("Preset(crash-burst) not found")
@@ -439,5 +514,98 @@ func TestInjectorMarksFaults(t *testing.T) {
 	// Two fault steps (2 and 6) — the two same-step events coalesce.
 	if got := ch.Unrepaired(); len(got) != 2 {
 		t.Fatalf("marked faults = %v, want 2 entries", got)
+	}
+}
+
+// corruptPop is a fakePop that also implements Corruptor, recording every
+// op the injector hands it.
+type corruptPop struct {
+	fakePop
+	victims []sim.NodeID
+	ops     []core.CorruptionOp
+}
+
+func (p *corruptPop) Corrupt(id sim.NodeID, op core.CorruptionOp) bool {
+	p.victims = append(p.victims, id)
+	p.ops = append(p.ops, op)
+	return true
+}
+
+func TestInjectorAppliesCorruption(t *testing.T) {
+	eng := sim.NewEngine(sim.Config{Seed: 3})
+	pop := &corruptPop{fakePop: fakePop{eng: eng}}
+	for id := sim.NodeID(1); id <= 10; id++ {
+		_ = eng.Add(id, &tickerProc{})
+	}
+	w := &fakeTarget{snaps: map[sim.NodeID][]core.MembershipSnapshot{}, owners: map[string]sim.NodeID{}}
+	ch := NewChecker(w, CheckerOptions{Every: 10})
+	ch.Enable(true)
+	eng.AddService(ch)
+	sc := Scenario{Name: "t", Steps: 10, Events: []Event{
+		{Step: 2, Kind: Corrupt, Op: core.CorruptDanglingParent, Count: 2},
+		{Step: 4, Kind: Corrupt, Op: core.CorruptViewBreak, Count: 1},
+		{Step: 6, Kind: Corrupt, Op: core.CorruptSplitBrainRoot},
+	}}
+	inj, err := NewInjector(eng, pop, ch, sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(eng)
+	eng.Run(10)
+
+	if len(pop.victims) != 4 { // 2 + 1 + default count 1
+		t.Fatalf("corrupted %v, want 4 victims", pop.victims)
+	}
+	for i, op := range pop.ops[:2] {
+		if op.Kind != core.CorruptDanglingParent || len(op.Peers) != 2 {
+			t.Fatalf("op %d = %+v, want dangling-parent with 2 peers", i, op)
+		}
+		for _, p := range op.Peers {
+			if p < 1<<30 {
+				t.Errorf("dangling-parent peer %d is not a phantom id", p)
+			}
+		}
+	}
+	if op := pop.ops[2]; op.Kind != core.CorruptViewBreak {
+		t.Fatalf("op 2 = %+v, want view-break", op)
+	} else {
+		for _, p := range op.Peers {
+			if p == pop.victims[2] {
+				t.Error("view-break peer equals the victim")
+			}
+			if p < 1 || p > 10 {
+				t.Errorf("view-break peer %d not a live node", p)
+			}
+		}
+	}
+	for _, a := range inj.Applied() {
+		if a.Kind != Corrupt || a.Op == "" || len(a.Nodes) == 0 {
+			t.Errorf("applied record %+v missing corruption fields", a)
+		}
+	}
+	// The empty fake world sweeps clean, closing every fault with its kind
+	// labels attached.
+	reps := ch.Repairs()
+	if len(reps) != 3 {
+		t.Fatalf("repairs = %+v, want 3", reps)
+	}
+	if len(reps[0].Kinds) != 1 || reps[0].Kinds[0] != "corrupt-dangling-parent" {
+		t.Fatalf("repair kinds = %v, want [corrupt-dangling-parent]", reps[0].Kinds)
+	}
+}
+
+// TestInjectorRejectsCorruptionWithoutCorruptor pins the construction-time
+// error: a corruption timeline needs a surface that can apply it.
+func TestInjectorRejectsCorruptionWithoutCorruptor(t *testing.T) {
+	eng := sim.NewEngine(sim.Config{Seed: 1})
+	pop := &fakePop{eng: eng}
+	for id := sim.NodeID(1); id <= 4; id++ {
+		_ = eng.Add(id, &tickerProc{})
+	}
+	sc := Scenario{Name: "t", Steps: 10, Events: []Event{
+		{Step: 1, Kind: Corrupt, Op: core.CorruptForgedView},
+	}}
+	if _, err := NewInjector(eng, pop, nil, sc, 1); err == nil {
+		t.Fatal("corruption scenario accepted without a Corruptor")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/sim"
 )
 
@@ -51,6 +52,20 @@ type Population interface {
 	Leave(id sim.NodeID)
 }
 
+// Corruptor is the optional deployment surface for the structural
+// corruption fault family: it forces the node into the op's illegal state
+// (core.Node.ApplyCorruption behind whatever engine boundary applies —
+// direct call on the cycle engine, Peer.Do/Transport.Do on the live
+// engines). It reports whether any state was mutated; the injector ignores
+// the report (eligibility depends on node state, which differs across
+// engines — recording it would break the cross-engine fault-timeline
+// match). Implemented by the experiment cluster's population adapter and
+// the conformance engines; discovered by type assertion so the injector's
+// construction surface stays unchanged for corruption-free scenarios.
+type Corruptor interface {
+	Corrupt(id sim.NodeID, op core.CorruptionOp) bool
+}
+
 // Applied records one materialised fault event for the scenario report:
 // what the timeline scripted and which nodes it actually hit.
 type Applied struct {
@@ -61,6 +76,8 @@ type Applied struct {
 	// Links counts the distinct links a CutLinks event actually severed
 	// (duplicate random draws are not faults).
 	Links int `json:"links,omitempty"`
+	// Op names the corruption a Corrupt event applied.
+	Op string `json:"op,omitempty"`
 }
 
 // Injector replays a scenario timeline against an engine. Drive it by
@@ -73,7 +90,8 @@ type Applied struct {
 type Injector struct {
 	eng     FaultSurface
 	pop     Population
-	checker *Checker // may be nil; notified of each fault step for TTR
+	cor     Corruptor // discovered from pop or eng; nil without corruption support
+	checker *Checker  // may be nil; notified of each fault step for TTR
 	rng     *rand.Rand
 	events  []Event
 	idx     int
@@ -94,9 +112,24 @@ func NewInjector(eng FaultSurface, pop Population, checker *Checker, sc Scenario
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	// Corruption support is optional: the population adapter (cycle engine)
+	// or the fault surface itself (conformance engines) may implement it.
+	cor, ok := pop.(Corruptor)
+	if !ok {
+		cor, _ = eng.(Corruptor)
+	}
+	if cor == nil {
+		for _, ev := range sc.Events {
+			if ev.Kind == Corrupt {
+				return nil, fmt.Errorf("chaos: scenario %q scripts corruption but neither population nor engine implements chaos.Corruptor",
+					sc.Name)
+			}
+		}
+	}
 	return &Injector{
 		eng:     eng,
 		pop:     pop,
+		cor:     cor,
 		checker: checker,
 		rng:     rand.New(rand.NewSource(seed ^ 0xc4a05)),
 		events:  sc.sorted(),
@@ -123,15 +156,36 @@ func (inj *Injector) Applied() []Applied { return inj.applied }
 // monotonically non-decreasing steps.
 func (inj *Injector) Step(step int64) {
 	rel := step - inj.offset
-	faulted := false
+	var kinds []string
 	for inj.idx < len(inj.events) && inj.events[inj.idx].Step <= rel {
-		inj.apply(step, inj.events[inj.idx])
+		ev := inj.events[inj.idx]
+		inj.apply(step, ev)
 		inj.idx++
-		faulted = true
+		if label := faultLabel(ev); !hasString(kinds, label) {
+			kinds = append(kinds, label)
+		}
 	}
-	if faulted && inj.checker != nil {
-		inj.checker.MarkFault(step)
+	if len(kinds) > 0 && inj.checker != nil {
+		inj.checker.MarkFaultKinds(step, kinds)
 	}
+}
+
+// faultLabel names an event for the per-fault time-to-repair breakdown:
+// the action kind, refined by the op for corruption events.
+func faultLabel(ev Event) string {
+	if ev.Kind == Corrupt {
+		return "corrupt-" + ev.Op.String()
+	}
+	return ev.Kind.String()
+}
+
+func hasString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // apply materialises one event. All selection is over sorted id lists
@@ -200,10 +254,60 @@ func (inj *Injector) apply(step int64, ev Event) {
 			inj.pop.Leave(id)
 			rec.Nodes = append(rec.Nodes, id)
 		}
+	case Corrupt:
+		rec.Op = ev.Op.String()
+		count := ev.Count
+		if count == 0 {
+			count = 1
+		}
+		for _, id := range inj.pickAlive(count, false) {
+			inj.cor.Corrupt(id, inj.buildOp(ev.Op, id))
+			rec.Nodes = append(rec.Nodes, id)
+		}
 	default:
 		panic(fmt.Sprintf("chaos: unknown action kind %d", ev.Kind))
 	}
 	inj.applied = append(inj.applied, rec)
+}
+
+// buildOp materialises one corruption op for a victim. Each op kind draws
+// a FIXED number of values from the injector stream (the determinism
+// contract: the stream position after an event depends only on the event),
+// and every referenced peer comes from this side of the engine boundary —
+// phantom ids from a range no deployment allocates, live peers from the
+// sorted alive list — so the op itself ships engine-agnostic data.
+func (inj *Injector) buildOp(kind core.CorruptionKind, victim sim.NodeID) core.CorruptionOp {
+	op := core.CorruptionOp{Kind: kind}
+	switch kind {
+	case core.CorruptDanglingParent, core.CorruptForgedView:
+		op.Peers = inj.phantoms(2)
+	case core.CorruptViewBreak:
+		op.Peers = inj.livePeers(2, victim)
+	}
+	return op
+}
+
+// phantoms draws k node ids from a range no deployment allocates: they are
+// dead by construction, and dead forever.
+func (inj *Injector) phantoms(k int) []sim.NodeID {
+	ids := make([]sim.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		ids = append(ids, sim.NodeID(1<<30)+sim.NodeID(inj.rng.Intn(1<<20)))
+	}
+	return ids
+}
+
+// livePeers draws up to k live nodes other than the victim. The draw count
+// is fixed (k+1 selections) regardless of where the victim lands.
+func (inj *Injector) livePeers(k int, victim sim.NodeID) []sim.NodeID {
+	picked := inj.pickAlive(k+1, false)
+	out := make([]sim.NodeID, 0, k)
+	for _, id := range picked {
+		if id != victim && len(out) < k {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // resolveCount turns an event's Count/Frac into a concrete node count

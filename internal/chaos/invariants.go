@@ -89,6 +89,9 @@ type Repair struct {
 	FaultStep int64 `json:"fault_step"`
 	CleanStep int64 `json:"clean_step"`
 	Steps     int64 `json:"steps"` // CleanStep - FaultStep
+	// Kinds labels the fault actions injected at FaultStep (e.g. "crash",
+	// "corrupt-dangling-parent"); per-fault TTR breakdowns group by them.
+	Kinds []string `json:"kinds,omitempty"`
 }
 
 // CheckerOptions parameterise the sweep.
@@ -117,8 +120,14 @@ type Checker struct {
 	enabled bool
 
 	records []CheckRecord
-	pending []int64 // fault steps not yet followed by a clean sweep
+	pending []pendingFault // fault steps not yet followed by a clean sweep
 	repairs []Repair
+}
+
+// pendingFault is one open fault interval awaiting a clean sweep.
+type pendingFault struct {
+	step  int64
+	kinds []string
 }
 
 // NewChecker builds a checker over the target.
@@ -135,9 +144,13 @@ func (c *Checker) Enable(on bool) { c.enabled = on }
 
 // MarkFault tells the checker the configuration was perturbed at the
 // given step; the next all-clean sweep closes it as a Repair.
-func (c *Checker) MarkFault(step int64) {
+func (c *Checker) MarkFault(step int64) { c.MarkFaultKinds(step, nil) }
+
+// MarkFaultKinds is MarkFault with the injected fault labels attached, so
+// the closed Repair records which fault family it measures.
+func (c *Checker) MarkFaultKinds(step int64, kinds []string) {
 	if c.enabled {
-		c.pending = append(c.pending, step)
+		c.pending = append(c.pending, pendingFault{step: step, kinds: kinds})
 	}
 }
 
@@ -158,7 +171,13 @@ func (c *Checker) Records() []CheckRecord { return c.records }
 func (c *Checker) Repairs() []Repair { return c.repairs }
 
 // Unrepaired returns fault steps never followed by a clean sweep.
-func (c *Checker) Unrepaired() []int64 { return append([]int64(nil), c.pending...) }
+func (c *Checker) Unrepaired() []int64 {
+	out := make([]int64, 0, len(c.pending))
+	for _, p := range c.pending {
+		out = append(out, p.step)
+	}
+	return out
+}
 
 // FinalClean reports whether the most recent sweep found zero violations.
 func (c *Checker) FinalClean() bool {
@@ -267,8 +286,9 @@ func (c *Checker) Check(step int64) CheckRecord {
 	}
 	c.records = append(c.records, rec)
 	if rec.Total == 0 && len(c.pending) > 0 {
-		for _, fs := range c.pending {
-			c.repairs = append(c.repairs, Repair{FaultStep: fs, CleanStep: step, Steps: step - fs})
+		for _, p := range c.pending {
+			c.repairs = append(c.repairs, Repair{
+				FaultStep: p.step, CleanStep: step, Steps: step - p.step, Kinds: p.kinds})
 		}
 		c.pending = c.pending[:0]
 	}
@@ -328,6 +348,9 @@ func (c *Checker) checkTree(attr string, groups map[string][]instance,
 			}
 			c.checkViews(attr, key, inst, holders, live, add)
 		}
+		if c.opts.LeaderMode {
+			c.checkLeadership(attr, key, groups[key], holders, live, add)
+		}
 	}
 
 	// Acyclicity of the parent graph (union over instances). Colors:
@@ -378,6 +401,25 @@ func (c *Checker) checkTree(attr string, groups map[string][]instance,
 		if !ownerHasRoot {
 			add(Violation{Invariant: InvConnected, Attr: attr,
 				Detail: fmt.Sprintf("directory owner %d holds no active root group", owner)})
+		}
+	}
+
+	// Split-brain roots (leader mode): at most one live instance may claim
+	// the tree's leadership for itself. Root mirrors legally name the owner
+	// as leader, so only *self*-acknowledged claims count; two of them mean
+	// two cohorts each believe they host the tree — the split-brain
+	// corruption, or a partition's duplicated root before the merge.
+	if c.opts.LeaderMode {
+		var claimants []sim.NodeID
+		for _, inst := range groups[rootKey] {
+			if inst.snap.Leader == inst.node {
+				claimants = append(claimants, inst.node)
+			}
+		}
+		if len(claimants) > 1 {
+			add(Violation{Invariant: InvConnected, Attr: attr,
+				Detail: fmt.Sprintf("split-brain: %d root instances each claim tree leadership %v",
+					len(claimants), claimants)})
 		}
 	}
 
@@ -476,6 +518,34 @@ func (c *Checker) checkViews(attr, key string, inst instance,
 			add(Violation{Invariant: InvViewSymmetry, Attr: attr, Group: key, Node: inst.node,
 				Detail: fmt.Sprintf("group leader %d does not hold the group", snap.Leader)})
 		}
+	}
+}
+
+// checkLeadership validates the group-level leadership clause (leader
+// mode): when any instance defers to a live holder as leader, some live
+// instance must actually acknowledge leading the group. A group where
+// every instance points at another live holder and nobody self-acknowledges
+// is a leadership deference chain — each node waits forever for a leader
+// that does not believe it leads, a state individual-instance clauses
+// (dead leader, non-holder leader) cannot see.
+func (c *Checker) checkLeadership(attr, key string, insts []instance,
+	holders map[string]map[sim.NodeID]bool, live map[sim.NodeID]bool, add func(Violation)) {
+
+	deferred := false
+	selfAck := false
+	for _, inst := range insts {
+		l := inst.snap.Leader
+		if l == inst.node {
+			selfAck = true
+			break
+		}
+		if l != 0 && live[l] && holders[key][l] {
+			deferred = true
+		}
+	}
+	if deferred && !selfAck {
+		add(Violation{Invariant: InvViewSymmetry, Attr: attr, Group: key,
+			Detail: "no instance acknowledges leadership (leadership deference chain)"})
 	}
 }
 

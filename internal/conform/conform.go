@@ -100,6 +100,11 @@ type Engine interface {
 	// A node that crashed between AliveIDs and this call returns nil.
 	StructuralSnapshot(id sim.NodeID) []core.MembershipSnapshot
 
+	// Corrupt applies a structural corruption op to one live node
+	// (chaos.Corruptor), on the node's own goroutine for live engines.
+	// Returns false when the node is dead or ineligible for the op.
+	Corrupt(id sim.NodeID, op core.CorruptionOp) bool
+
 	// TreeOwner reports the directory's current owner of an attribute
 	// tree (chaos.Target).
 	TreeOwner(attr string) (sim.NodeID, bool)
@@ -110,6 +115,11 @@ type Engine interface {
 	// Close tears the engine down; the engine is unusable afterwards.
 	Close()
 }
+
+// Every conformance engine is a chaos.Corruptor: the injector discovers
+// the corruption surface on the engine itself, so corruption scenarios
+// run on all three runtimes.
+var _ chaos.Corruptor = Engine(nil)
 
 // EngineStats are the per-engine drop counters reported with each run.
 type EngineStats struct {

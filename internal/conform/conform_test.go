@@ -64,6 +64,101 @@ func TestConformSmoke(t *testing.T) {
 	}
 }
 
+// TestConformCorruptionAcrossEngines is the self-stabilization smoke on
+// the live runtimes: the corruption preset must materialise its scripted
+// ops on every engine (via Peer.Do / Transport.Do on the goroutine
+// runtimes) and every engine must converge invariant-clean inside the
+// declared repair bound.
+func TestConformCorruptionAcrossEngines(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scenarios = []string{"corruption"}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.Scenarios[0]
+	if sc.Timeline.MaxTTR == 0 {
+		t.Fatal("corruption preset carries no repair bound")
+	}
+	for _, run := range sc.Runs {
+		if !run.FinalClean {
+			t.Errorf("%s: final sweep dirty: %d violations %v; sample %+v",
+				run.Engine, run.FinalCheck.Total, run.FinalCheck.ByInvariant,
+				run.FinalCheck.Sample)
+		}
+		if !run.WithinBound {
+			t.Errorf("%s: repair bound %d exceeded (ttr max %d, %d unrepaired)",
+				run.Engine, run.MaxTTR, run.TTR.Max, len(run.Unrepaired))
+		}
+		corrupted := 0
+		for _, a := range run.Applied {
+			if a.Kind == chaos.Corrupt {
+				corrupted++
+			}
+		}
+		if corrupted == 0 {
+			t.Errorf("%s: no corruption materialised (applied %d faults)",
+				run.Engine, len(run.Applied))
+		}
+		sawCorrupt := false
+		for kind := range run.TTRByKind {
+			if len(kind) > 8 && kind[:8] == "corrupt-" {
+				sawCorrupt = true
+			}
+		}
+		if !sawCorrupt {
+			t.Errorf("%s: no corrupt-* fault kind in the TTR breakdown (have %v)",
+				run.Engine, run.TTRByKind)
+		}
+	}
+	if cells := res.FailingCells(); len(cells) != 0 && !t.Failed() {
+		t.Errorf("FailingCells non-empty on a passing matrix: %v", cells)
+	}
+}
+
+// TestFailingCellsNamesEveryBadCell pins the exit-status aggregation: a
+// matrix with one dirty cell, one over-bound cell and one diverged cell
+// must name each (scenario, engine) pair, and AllClean must be false.
+func TestFailingCellsNamesEveryBadCell(t *testing.T) {
+	res := &Result{Scenarios: []ScenarioResult{
+		{
+			Scenario: "a",
+			Runs: []EngineRun{
+				{Engine: EngineSim, Scenario: "a", FinalClean: true, WithinBound: true},
+				{Engine: EngineLive, Scenario: "a", FinalClean: false, WithinBound: true},
+				{Engine: EngineTCP, Scenario: "a", FinalClean: true, WithinBound: false, MaxTTR: 10, TTR: TTRStats{Max: 25}},
+			},
+		},
+		{
+			Scenario: "b",
+			Runs: []EngineRun{
+				{Engine: EngineSim, Scenario: "b", FinalClean: true, WithinBound: true},
+				{Engine: EngineLive, Scenario: "b", FinalClean: true, WithinBound: true},
+			},
+			Diffs: []DiffResult{{Engine: EngineLive, Scenario: "b", Pass: false}},
+		},
+	}}
+	cells := res.FailingCells()
+	if len(cells) != 3 {
+		t.Fatalf("FailingCells = %v, want 3 entries", cells)
+	}
+	for i, want := range []string{"a/live", "a/tcp", "b/live"} {
+		if len(cells[i]) < len(want) || cells[i][:len(want)] != want {
+			t.Errorf("cell %d = %q, want prefix %q", i, cells[i], want)
+		}
+	}
+	if res.AllClean() {
+		t.Error("AllClean true with failing cells")
+	}
+	clean := &Result{Scenarios: []ScenarioResult{{
+		Scenario: "a",
+		Runs:     []EngineRun{{Engine: EngineSim, FinalClean: true, WithinBound: true}},
+	}}}
+	if !clean.AllClean() || len(clean.FailingCells()) != 0 {
+		t.Error("clean matrix reported failing cells")
+	}
+}
+
 // TestConformFaultTimelineMatchesAcrossEngines pins the cross-engine
 // determinism the differential oracle rests on: the same scenario
 // materialises the same fault log — same kinds, same steps relative to

@@ -175,6 +175,20 @@ func (e *liveEngine) StructuralSnapshot(id sim.NodeID) []core.MembershipSnapshot
 	return snaps
 }
 
+// Corrupt applies the op on the peer's own goroutine via Peer.Do — the
+// corruption mutates node state, which only that goroutine may touch.
+func (e *liveEngine) Corrupt(id sim.NodeID, op core.CorruptionOp) bool {
+	node, peer := e.nodes[id], e.peers[id]
+	if node == nil || !e.hub.Alive(id) {
+		return false
+	}
+	var ok bool
+	if err := peer.Do(func() { ok = node.ApplyCorruption(op) }); err != nil {
+		return false // crashed between AliveIDs and the request
+	}
+	return ok
+}
+
 func (e *liveEngine) TreeOwner(attr string) (sim.NodeID, bool) { return e.dir.Owner(attr) }
 
 func (e *liveEngine) Stats() EngineStats {

@@ -138,6 +138,16 @@ func (e *simEngine) StructuralSnapshot(id sim.NodeID) []core.MembershipSnapshot 
 	return e.nodes[id].StructuralSnapshot()
 }
 
+// Corrupt mutates the node's structural state in place — the cycle
+// engine's nodes are only touched between steps, so no Do indirection.
+func (e *simEngine) Corrupt(id sim.NodeID, op core.CorruptionOp) bool {
+	node := e.nodes[id]
+	if node == nil || !e.Engine.Alive(id) {
+		return false
+	}
+	return node.ApplyCorruption(op)
+}
+
 func (e *simEngine) TreeOwner(attr string) (sim.NodeID, bool) { return e.dir.Owner(attr) }
 
 func (e *simEngine) Stats() EngineStats {

@@ -259,6 +259,20 @@ func (e *tcpEngine) StructuralSnapshot(id sim.NodeID) []core.MembershipSnapshot 
 	return snaps
 }
 
+// Corrupt applies the op on the transport goroutine via Transport.Do —
+// the corruption mutates node state, which only that goroutine may touch.
+func (e *tcpEngine) Corrupt(id sim.NodeID, op core.CorruptionOp) bool {
+	p := e.peer(id)
+	if p == nil {
+		return false
+	}
+	var ok bool
+	if err := p.tr.Do(func() { ok = p.node.ApplyCorruption(op) }); err != nil {
+		return false // transport died between AliveIDs and the request
+	}
+	return ok
+}
+
 func (e *tcpEngine) TreeOwner(attr string) (sim.NodeID, bool) { return e.dirCli.Owner(attr) }
 
 func (e *tcpEngine) Stats() EngineStats {

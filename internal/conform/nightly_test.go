@@ -39,6 +39,10 @@ func TestConformNightlyMatrix(t *testing.T) {
 					seed, sc.Scenario, run.FinalCheck.Total, run.FinalCheck.ByInvariant,
 					run.FinalCheck.Sample)
 			}
+			if !run.WithinBound {
+				t.Errorf("sim seed %d %s: repair bound %d exceeded (ttr max %d, %d unrepaired)",
+					seed, sc.Scenario, run.MaxTTR, run.TTR.Max, len(run.Unrepaired))
+			}
 			if run.FalseDeliveries != 0 {
 				t.Errorf("sim seed %d %s: %d false deliveries", seed, sc.Scenario, run.FalseDeliveries)
 			}
@@ -57,6 +61,10 @@ func TestConformNightlyMatrix(t *testing.T) {
 					t.Errorf("round %d %s on %s: final sweep dirty: %d violations %v; sample %+v",
 						round, sc.Scenario, run.Engine, run.FinalCheck.Total,
 						run.FinalCheck.ByInvariant, run.FinalCheck.Sample)
+				}
+				if !run.WithinBound {
+					t.Errorf("round %d %s on %s: repair bound %d exceeded (ttr max %d, %d unrepaired)",
+						round, sc.Scenario, run.Engine, run.MaxTTR, run.TTR.Max, len(run.Unrepaired))
 				}
 				if run.FalseDeliveries != 0 {
 					t.Errorf("round %d %s on %s: %d false deliveries",

@@ -19,6 +19,7 @@ type TTRStats struct {
 	Min     int64 `json:"min_ticks"`
 	Median  int64 `json:"median_ticks"`
 	P90     int64 `json:"p90_ticks"`
+	P99     int64 `json:"p99_ticks"`
 	Max     int64 `json:"max_ticks"`
 }
 
@@ -37,8 +38,28 @@ func ttrStats(repairs []chaos.Repair) TTRStats {
 		Min:     steps[0],
 		Median:  quantile(0.5),
 		P90:     quantile(0.9),
+		P99:     quantile(0.99),
 		Max:     steps[len(steps)-1],
 	}
+}
+
+// ttrByKind splits the repair intervals by fault kind. A repair interval
+// that closed several coalesced fault kinds counts toward each.
+func ttrByKind(repairs []chaos.Repair) map[string]TTRStats {
+	byKind := make(map[string][]chaos.Repair)
+	for _, r := range repairs {
+		for _, k := range r.Kinds {
+			byKind[k] = append(byKind[k], r)
+		}
+	}
+	if len(byKind) == 0 {
+		return nil
+	}
+	out := make(map[string]TTRStats, len(byKind))
+	for k, rs := range byKind {
+		out[k] = ttrStats(rs)
+	}
+	return out
 }
 
 // EngineRun is one scenario's outcome on one engine.
@@ -59,6 +80,16 @@ type EngineRun struct {
 	FinalCheck chaos.CheckRecord `json:"final_check"`
 	FinalClean bool              `json:"final_clean"`
 	TTR        TTRStats          `json:"ttr"`
+	// TTRByKind splits the repair distribution by fault kind; MaxTTR is
+	// the effective repair bound this run was judged against (0 = none
+	// declared); WithinBound is the bounded-repair verdict. The scenario
+	// declares its bound in cycle-engine steps; on the asynchronous
+	// engines the bound is widened by the same slack multiplier the
+	// convergence budget uses, since their ticks elapse under real
+	// scheduling jitter.
+	TTRByKind   map[string]TTRStats `json:"ttr_by_kind,omitempty"`
+	MaxTTR      int64               `json:"max_ttr,omitempty"`
+	WithinBound bool                `json:"within_bound"`
 	// Delivery accounting against the shared oracle.
 	Events          int     `json:"events"`
 	ExpectedPairs   int     `json:"expected_pairs"`
@@ -131,21 +162,39 @@ type Result struct {
 }
 
 // AllClean reports whether every run on every engine ended
-// invariant-clean and every differential verdict passed.
+// invariant-clean inside its repair bound and every differential
+// verdict passed.
 func (r *Result) AllClean() bool {
+	return len(r.FailingCells()) == 0
+}
+
+// FailingCells names every failing (scenario, engine) cell with its
+// failure mode — the aggregation the exit status and run summary rest
+// on, so one bad cell in a full matrix fails the whole run by name.
+func (r *Result) FailingCells() []string {
+	var cells []string
 	for _, sc := range r.Scenarios {
-		for _, run := range sc.Runs {
-			if !run.FinalClean {
-				return false
-			}
-		}
+		diffFailed := make(map[string]bool)
 		for _, d := range sc.Diffs {
 			if !d.Pass {
-				return false
+				diffFailed[d.Engine] = true
+			}
+		}
+		for _, run := range sc.Runs {
+			switch {
+			case !run.FinalClean:
+				cells = append(cells, fmt.Sprintf("%s/%s: final sweep dirty (%d violations)",
+					sc.Scenario, run.Engine, run.FinalCheck.Total))
+			case !run.WithinBound:
+				cells = append(cells, fmt.Sprintf("%s/%s: repair bound %d exceeded (ttr max %d, %d unrepaired)",
+					sc.Scenario, run.Engine, run.MaxTTR, run.TTR.Max, len(run.Unrepaired)))
+			case diffFailed[run.Engine]:
+				cells = append(cells, fmt.Sprintf("%s/%s: diverged from the sim reference",
+					sc.Scenario, run.Engine))
 			}
 		}
 	}
-	return true
+	return cells
 }
 
 // Run executes the conformance matrix: every selected scenario on every
@@ -312,16 +361,26 @@ func runScenarioOn(name string, sc chaos.Scenario, opts Options) (*EngineRun, er
 		ratio = float64(deliveredPairs) / float64(expectedPairs)
 	}
 	checks := checker.Records()
+	repairs := checker.Repairs()
+	unrepaired := checker.Unrepaired()
+	ttr := ttrStats(repairs)
+	bound := sc.MaxTTR
+	if bound > 0 && name != EngineSim {
+		bound = int64(float64(bound) * opts.ConvergeSlack)
+	}
 	run := &EngineRun{
 		Engine:          name,
 		Scenario:        sc.Name,
 		Applied:         inj.Applied(),
 		Checks:          checks,
-		Repairs:         checker.Repairs(),
-		Unrepaired:      checker.Unrepaired(),
+		Repairs:         repairs,
+		Unrepaired:      unrepaired,
 		FinalCheck:      checks[len(checks)-1],
 		FinalClean:      cleanStreak >= 2,
-		TTR:             ttrStats(checker.Repairs()),
+		TTR:             ttr,
+		TTRByKind:       ttrByKind(repairs),
+		MaxTTR:          bound,
+		WithinBound:     bound == 0 || (len(unrepaired) == 0 && ttr.Max <= bound),
 		Events:          events,
 		ExpectedPairs:   expectedPairs,
 		DeliveredPairs:  deliveredPairs,
@@ -417,6 +476,8 @@ func (r *Result) Render() string {
 			verdict := "CLEAN"
 			if !run.FinalClean {
 				verdict = "DIRTY"
+			} else if !run.WithinBound {
+				verdict = "SLOW"
 			}
 			agreement := "ref"
 			if d := diffFor(run.Engine); d != nil {
@@ -448,6 +509,12 @@ func (r *Result) Render() string {
 			for _, v := range run.FinalCheck.Sample {
 				fmt.Fprintf(&b, "  e.g. [%s] %s\n", v.Invariant, v.Detail)
 			}
+		}
+	}
+	if cells := r.FailingCells(); len(cells) > 0 {
+		fmt.Fprintf(&b, "\nFAILING CELLS (%d):\n", len(cells))
+		for _, c := range cells {
+			fmt.Fprintf(&b, "  %s\n", c)
 		}
 	}
 	b.WriteString("engines: sim = cycle reference, live = goroutine runtime, tcp = real TCP\n")

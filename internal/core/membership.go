@@ -92,6 +92,16 @@ func (n *membershipSys) unsubscribe(sub filter.Subscription) error {
 func (n *membershipSys) startJoin(m *membership) {
 	m.sentAt = n.env.Now()
 	m.retries++
+	// Bounded-join backstop: a walk that a corrupted topology keeps
+	// swallowing (stale contacts can livelock a walk in ways no single
+	// routing repair covers) must not park the subscription forever. Past
+	// the retry budget, anchor the group in place — the leader's position
+	// probes and the parent's branch exchanges reconnect it from there,
+	// so total repair time stays bounded.
+	if n.cfg.StrictRepair && m.retries > 10 {
+		n.selfAnchor(m)
+		return
+	}
 	attr := m.af.Attr()
 	owner, ok := n.cfg.Directory.Owner(attr)
 	if !ok {
@@ -142,6 +152,23 @@ func (n *membershipSys) ensureRoot(attr string) *membership {
 	return m
 }
 
+// selfAnchor activates a joining membership in place: the node claims
+// leadership of its own instance and lets the probe machinery merge it
+// if a duplicate instance surfaces later (StrictRepair only). This is
+// the terminal repair for walks a damaged topology cannot answer.
+func (n *membershipSys) selfAnchor(m *membership) {
+	n.setActive(m)
+	if n.cfg.Comm == LeaderBased && !m.isLeaderHere(n.ID()) {
+		m.leader = n.ID()
+		m.leaderlessAt = 0
+		m.coLeaders.remove(n.ID())
+		n.rep.broadcastCoLeaders(m)
+	}
+	m.members.add(n.ID())
+	n.cfg.Directory.AddContact(m.af.Attr(), n.ID())
+	n.dis.flushPending(m)
+}
+
 // retryJoins re-issues findGroup walks that have gone unanswered — lost to
 // crashed handlers or to in-flight reconfiguration.
 func (n *membershipSys) retryJoins(now int64) {
@@ -190,6 +217,14 @@ func (n *membershipSys) handleFindGroup(from sim.NodeID, f findGroup) {
 					}
 					m = tm
 				}
+			case n.cfg.StrictRepair && f.Subscriber == n.ID() && tm.af.SameExtension(f.AF):
+				// The walk came back to our own joining membership: every
+				// route to the group leads here, so no other instance exists
+				// to accept us — the single-node twin of the two-party bounce
+				// above (corruption harness finding: a re-attach whose group
+				// has no surviving second member loops forever otherwise).
+				n.selfAnchor(tm)
+				return
 			}
 		}
 	}
@@ -200,6 +235,16 @@ func (n *membershipSys) handleFindGroup(from sim.NodeID, f findGroup) {
 		// Nothing useful here (stale contact): restart from the owner if
 		// we know it, otherwise drop — the subscriber's retry timer covers
 		// us.
+		if n.cfg.StrictRepair && from != n.ID() && !f.At.IsZero() {
+			if _, hosts := n.groups[f.At.Key()]; !hosts {
+				// We were addressed as a contact of a group we know nothing
+				// about: make the sender drop us from its branch, or the
+				// stale entry routes every retry back here forever
+				// (corruption harness finding: a dissolved forged root's
+				// old contacts livelock walks between owner and ex-contact).
+				n.send(from, leave{AF: f.At, Member: n.ID()})
+			}
+		}
 		if owner, ok := n.cfg.Directory.Owner(f.AF.Attr()); ok && owner != n.ID() && f.Hops < 64 {
 			f.Hops++
 			f.At = filter.AttrFilter{}
@@ -383,9 +428,21 @@ func (n *membershipSys) routeDown(m *membership, f findGroup) (sim.NodeID, filte
 // liveContact returns the first usable contact of a branch, or 0.
 func (n *membershipSys) liveContact(b *Branch, exclude sim.NodeID) sim.NodeID {
 	for _, c := range b.Nodes {
-		if c != exclude && !n.suspected[c] {
-			return c
+		if c == exclude || n.suspected[c] {
+			continue
 		}
+		if n.cfg.StrictRepair && c == n.ID() {
+			// A self-contact is only meaningful while we host the child
+			// group and it can accept (joining members cannot); a stale
+			// one would recurse the walk into ourselves until the hop cap
+			// on every retry (corruption harness finding). Skipping it
+			// stops the walk at the current group, where CREATE GROUP
+			// re-anchors and overwrites the entry.
+			if cm, hosts := n.groups[b.AF.Key()]; !hosts || cm.state != stateActive {
+				continue
+			}
+		}
+		return c
 	}
 	return 0
 }
@@ -582,7 +639,21 @@ func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 	n.setActive(m)
 	m.leader = msg.Leader
 	m.leaderlessAt = 0
-	m.coLeaders = n.liveView(msg.CoLeaders)
+	co := msg.CoLeaders
+	if n.cfg.StrictRepair {
+		// A leader's position probe answers through its own acceptMember,
+		// so the accept can echo a pre-eviction snapshot back at it; the
+		// leave memory keeps evicted entries from riding back in.
+		now := n.env.Now()
+		live := make([]sim.NodeID, 0, len(co))
+		for _, id := range co {
+			if !m.recentlyDeparted(id, now, n.cfg.SeenTTL) {
+				live = append(live, id)
+			}
+		}
+		co = live
+	}
+	m.coLeaders = n.liveView(co)
 	// A re-attaching leader that merged into another instance hands its
 	// members over to the new leadership.
 	if wasLeading && n.cfg.Comm == LeaderBased && msg.Leader != n.ID() && m.members.len() > 1 {
@@ -601,6 +672,9 @@ func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 		})
 	}
 	for _, id := range msg.Members {
+		if n.cfg.StrictRepair && m.recentlyDeparted(id, n.env.Now(), n.cfg.SeenTTL) {
+			continue // same probe-echo race as the co-leader list above
+		}
 		m.members.add(id)
 	}
 	if n.cfg.Comm == Epidemic {
@@ -612,8 +686,14 @@ func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 	// is how a detached group instance pair finds its way back
 	// (chaos-harness finding: two orphaned instances can otherwise
 	// re-accept each other's re-walks with empty predviews forever).
-	if !n.cfg.StrictRepair || len(msg.Parent.Nodes) > 0 || len(m.parent.Nodes) == 0 {
-		m.parent = msg.Parent
+	parent := msg.Parent
+	if n.cfg.StrictRepair {
+		// Probe echoes can also carry a predview whose contacts suspicion
+		// already removed; adopting them back would undo that repair.
+		parent = n.rep.pruneSuspected(parent)
+	}
+	if !n.cfg.StrictRepair || len(parent.Nodes) > 0 || len(m.parent.Nodes) == 0 {
+		m.parent = parent
 	}
 	if wasJoining {
 		n.cfg.Directory.AddContact(m.af.Attr(), n.ID())

@@ -577,6 +577,16 @@ func (n *repairSys) viewExchangeRound() {
 		if m == nil || m.state != stateActive {
 			continue
 		}
+		// Structural self-validation (StrictRepair): audit this group's tree
+		// edges against the containment discipline before advertising them.
+		// Crashes never break filter algebra — only corrupted state does —
+		// so on crash/partition runs this is a no-op.
+		if n.cfg.StrictRepair {
+			n.validateStructure(m)
+			if m.state != stateActive {
+				continue // validation sent the group back into a walk
+			}
+		}
 		msg := viewExchange{
 			AF:       m.af,
 			Members:  n.mem.memberSample(m),
@@ -695,6 +705,80 @@ func (n *repairSys) viewExchangeRound() {
 	}
 }
 
+// validateStructure audits one active membership's tree edges against the
+// containment discipline every legal configuration satisfies (§3: a child
+// group's filter is included in its parent's, and parent/child labels are
+// distinct). A predview whose label fails to include the group's own filter
+// — the widened-parent corruption, S-ToPSS-style semantic drift the
+// delivery ratio cannot see — is discarded and the group re-walks to its
+// canonical position; a branch whose label escapes the group's filter is
+// dropped, and its members re-register through their own periodic probes.
+//
+// The audit also re-prunes suspected contacts: suspicion fires its repair
+// exactly once per peer, but echoes of pre-repair state (the leader's own
+// position-probe reply, stale mirror exchanges) can re-install a contact
+// handleFailure already removed — after which nothing would ever remove it
+// again.
+func (n *repairSys) validateStructure(m *membership) {
+	// deleteBranch mutates the maintained order: iterate a copy.
+	for _, k := range append([]string(nil), m.branchOrder...) {
+		b := m.branches[k]
+		if b.AF.Key() == m.af.Key() || !m.af.Includes(b.AF) {
+			m.deleteBranch(k)
+		}
+	}
+	if m.isRoot || m.parent.AF.IsZero() {
+		return
+	}
+	m.parent.Nodes = n.pruneSuspected(m.parent).Nodes
+	if len(m.parent.Nodes) == 0 {
+		// A walk cannot refill the predview when this node is the canonical
+		// instance's own leader: the walk self-accepts and echoes the empty
+		// parent back. If the parent group is co-located (this node mirrors
+		// the root, say), its branch entry proves the edge — re-point the
+		// predview at that group's leadership directly.
+		if pm := n.mem.membershipWithBranch(m.af); pm != nil && pm.state == stateActive {
+			var contacts []sim.NodeID
+			for _, c := range append([]sim.NodeID{pm.leader}, pm.coLeaders.ids()...) {
+				if c != 0 && !n.suspected[c] && !has(contacts, c) {
+					contacts = append(contacts, c)
+				}
+			}
+			if len(contacts) > 0 {
+				m.parent = Branch{AF: pm.af, Nodes: contacts}
+			}
+		}
+	}
+	if len(m.parent.Nodes) == 0 {
+		// Every contact suspected and no co-located parent: clear the edge
+		// and let the leaderless/orphaned grace stagger the re-walk. An
+		// immediate walk here would fire every exchange round across the
+		// whole population at once (partitions suspect en masse), racing
+		// re-attachers into the walk-bounce fabrication the grace period
+		// exists to prevent (see heartbeatRound).
+		m.parent = Branch{}
+		return
+	}
+	if m.parent.AF.Key() == m.af.Key() || !m.parent.AF.Includes(m.af) {
+		m.parent = Branch{}
+		n.reattach(m)
+	}
+}
+
+// pruneSuspected returns a copy of the branch without the contacts this
+// node currently suspects dead.
+func (n *repairSys) pruneSuspected(b Branch) Branch {
+	nb := cloneBranch(b)
+	live := nb.Nodes[:0]
+	for _, c := range nb.Nodes {
+		if !n.suspected[c] {
+			live = append(live, c)
+		}
+	}
+	nb.Nodes = live
+	return nb
+}
+
 // sendProbe launches a probe walk for the group's canonical position.
 func (n *repairSys) sendProbe(m *membership) {
 	attr := m.af.Attr()
@@ -763,6 +847,33 @@ func (n *repairSys) checkRootStillOwned(m *membership) {
 func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 	m, ok := n.groups[msg.AF.Key()]
 	if ok && m.state == stateActive {
+		// Deference-cycle anchoring (StrictRepair): the sender believes WE
+		// lead this group while we believe IT does. Both nodes are live and
+		// hold the group, so neither suspicion nor the duplicate-instance
+		// merge ever fires — each side just defers forever, and walks bounce
+		// between them. The leader ping surfaces the cycle (its Leader field
+		// carries the sender's belief); resolve it like every other
+		// leadership tie, to the lowest id: the lower id reclaims and
+		// re-announces, the higher id re-acknowledges the sender directly.
+		if n.cfg.StrictRepair && n.cfg.Comm == LeaderBased && from != n.ID() &&
+			msg.Leader == n.ID() && m.leader == from {
+			if n.ID() < from {
+				m.leader = n.ID()
+				m.leaderlessAt = 0
+				m.coLeaders.remove(n.ID())
+				n.broadcastCoLeaders(m)
+			} else {
+				co := m.coLeaders.ids()
+				live := co[:0]
+				for _, id := range co {
+					if id != from {
+						live = append(live, id)
+					}
+				}
+				n.send(from, coLeaderUpdate{AF: m.af, Leader: from, CoLeaders: live})
+			}
+			return
+		}
 		// Same group: union memberships (this is what merges duplicate
 		// groups created concurrently — they share a key).
 		foreign := from != m.leader && !m.coLeaders.has(from) && !m.members.has(from)
@@ -824,13 +935,19 @@ func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 				}
 			}
 		}
-		if len(m.parent.Nodes) == 0 && len(msg.Parent.Nodes) > 0 && !m.isRoot {
-			m.parent = cloneBranch(msg.Parent)
-		} else if n.cfg.StrictRepair && fromLeader && !m.isRoot && len(msg.Parent.Nodes) > 0 {
+		incoming := msg.Parent
+		if n.cfg.StrictRepair {
+			// Never adopt contacts we suspect dead: a stale mirror's view
+			// would resurrect entries suspicion already removed.
+			incoming = n.pruneSuspected(incoming)
+		}
+		if len(m.parent.Nodes) == 0 && len(incoming.Nodes) > 0 && !m.isRoot {
+			m.parent = cloneBranch(incoming)
+		} else if n.cfg.StrictRepair && fromLeader && !m.isRoot && len(incoming.Nodes) > 0 {
 			// Members adopt the leader's predview wholesale: the leader is
 			// the instance that monitors and repairs the upward edge, so
 			// its contacts are the fresh ones.
-			m.parent = cloneBranch(msg.Parent)
+			m.parent = cloneBranch(incoming)
 		}
 		// Refresh branches we both know. Root mirrors adopt branches their
 		// leader knows and they do not (keeping co-owner mirrors fresh);
@@ -882,7 +999,14 @@ func (n *repairSys) handleViewExchange(from sim.NodeID, msg viewExchange) {
 			relay.Reply = true // terminal: the receiver merges, no ping-pong
 			n.send(primary, relay)
 		}
-		return
+		// A node can hold a branch for the sender's group AND be one of its
+		// children (a root mirror whose own subscription group sits deeper
+		// in the same tree). Returning here would shadow the child-predview
+		// refresh below — the only message path that can refill this node's
+		// predview when its own re-walks self-accept.
+		if !n.cfg.StrictRepair {
+			return
+		}
 	}
 	// Otherwise perhaps we are a child — check whether one of our groups
 	// appears in the sender's branch list and refresh our predview.

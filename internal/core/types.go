@@ -147,7 +147,16 @@ type Config struct {
 	//     them mirroring a root that no longer exists;
 	//   - leaderless root mirrors recover through the directory after the
 	//     promotion grace period (reassert, reclaim, or demote) instead of
-	//     idling forever.
+	//     idling forever;
+	//   - mutual leadership deference surfaced by the leader ping (each of
+	//     two live holders believing the other leads — a corrupted
+	//     abdication no failure detector can see) anchors to the lower id;
+	//   - tree edges are re-validated against the containment discipline
+	//     each exchange round: a predview label that fails to include the
+	//     group's own filter is discarded (the group re-walks) and a branch
+	//     label escaping the group's filter is dropped — the repairs behind
+	//     the corruption fault family of internal/chaos (see core.Node.
+	//     ApplyCorruption).
 	//
 	// Off by default so the evaluation experiments replay the paper's
 	// exact protocol (their metric traces are pinned byte-for-byte); the

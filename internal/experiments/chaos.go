@@ -33,6 +33,9 @@ type ChaosOptions struct {
 	CheckEvery int64
 	// Scenarios names the presets to run; empty runs the whole suite.
 	Scenarios []string
+	// Custom appends ad-hoc scenarios (fuzz/property harnesses) to the
+	// selected presets. Each must pass chaos.Scenario.Validate.
+	Custom []chaos.Scenario
 	// Config is the protocol variant under test.
 	Config ConfigSpec
 	// Parallelism is the engine worker count: 0/1 sequential, W > 1
@@ -61,6 +64,7 @@ type TTRStats struct {
 	Min     int64 `json:"min_steps"`
 	Median  int64 `json:"median_steps"`
 	P90     int64 `json:"p90_steps"`
+	P99     int64 `json:"p99_steps"`
 	Max     int64 `json:"max_steps"`
 }
 
@@ -83,8 +87,30 @@ func ttrStats(repairs []chaos.Repair) TTRStats {
 		Min:     steps[0],
 		Median:  quantile(0.5),
 		P90:     quantile(0.9),
+		P99:     quantile(0.99),
 		Max:     steps[len(steps)-1],
 	}
+}
+
+// ttrByKind groups closed repairs by the fault labels they repaired. A
+// sweep that closes several pending faults at once counts toward each of
+// their labels, so per-fault distributions stay comparable across
+// scenarios that interleave fault kinds.
+func ttrByKind(repairs []chaos.Repair) map[string]TTRStats {
+	byKind := make(map[string][]chaos.Repair)
+	for _, r := range repairs {
+		for _, k := range r.Kinds {
+			byKind[k] = append(byKind[k], r)
+		}
+	}
+	if len(byKind) == 0 {
+		return nil
+	}
+	out := make(map[string]TTRStats, len(byKind))
+	for k, rs := range byKind {
+		out[k] = ttrStats(rs)
+	}
+	return out
 }
 
 // ChaosScenarioResult is one scenario's verdict: the materialised fault
@@ -107,7 +133,18 @@ type ChaosScenarioResult struct {
 	// FinalClean is the scenario verdict.
 	FinalCheck chaos.CheckRecord `json:"final_check"`
 	FinalClean bool              `json:"final_clean"`
-	TTR        TTRStats          `json:"ttr"`
+	// InvariantVerdicts gives the final sweep's per-invariant verdict
+	// (true = clean) for every invariant the checker enforces.
+	InvariantVerdicts map[string]bool `json:"invariant_verdicts"`
+	TTR               TTRStats        `json:"ttr"`
+	// TTRByKind breaks the repair distribution down per fault label
+	// ("crash", "corrupt-deference-cycle", ...).
+	TTRByKind map[string]TTRStats `json:"ttr_by_kind,omitempty"`
+	// MaxTTR is the scenario's declared repair bound (0 = unbounded);
+	// WithinBound is false when any fault went unrepaired or a repair
+	// exceeded the bound.
+	MaxTTR      int64 `json:"max_ttr,omitempty"`
+	WithinBound bool  `json:"within_bound"`
 	// DeliveryRatio and Survivors give the Figure-3-style context.
 	DeliveryRatio float64 `json:"delivery_ratio"`
 	Survivors     float64 `json:"survivors"`
@@ -120,10 +157,11 @@ type ChaosResult struct {
 	Scenarios  []ChaosScenarioResult `json:"scenarios"`
 }
 
-// AllClean reports whether every scenario ended invariant-clean.
+// AllClean reports whether every scenario ended invariant-clean AND inside
+// its declared repair bound.
 func (r *ChaosResult) AllClean() bool {
 	for _, s := range r.Scenarios {
-		if !s.FinalClean {
+		if !s.FinalClean || !s.WithinBound {
 			return false
 		}
 	}
@@ -139,16 +177,21 @@ func RunChaos(opts ChaosOptions) (*ChaosResult, error) {
 		opts.CheckEvery = 10
 	}
 	names := opts.Scenarios
-	if len(names) == 0 {
+	if len(names) == 0 && len(opts.Custom) == 0 {
 		names = chaos.PresetNames()
 	}
-	res := &ChaosResult{Opts: opts, Invariants: chaos.Invariants()}
+	var scenarios []chaos.Scenario
 	for _, name := range names {
 		sc, ok := chaos.Preset(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown chaos scenario %q (have %s)",
 				name, strings.Join(chaos.PresetNames(), ", "))
 		}
+		scenarios = append(scenarios, sc)
+	}
+	scenarios = append(scenarios, opts.Custom...)
+	res := &ChaosResult{Opts: opts, Invariants: chaos.Invariants()}
+	for _, sc := range scenarios {
 		sr, err := runChaosScenario(opts, sc)
 		if err != nil {
 			return nil, err
@@ -190,6 +233,17 @@ func (p *chaosPopulation) Join() sim.NodeID {
 }
 
 func (p *chaosPopulation) Leave(id sim.NodeID) { p.c.LeaveNode(id) }
+
+// Corrupt applies a structural corruption directly to the node's state
+// (chaos.Corruptor). The injector only hands us ids it drew from the
+// alive set; a node that raced into departure simply reports no mutation.
+func (p *chaosPopulation) Corrupt(id sim.NodeID, op core.CorruptionOp) bool {
+	n, ok := p.c.Nodes[id]
+	if !ok || !p.c.Engine.Alive(id) {
+		return false
+	}
+	return n.ApplyCorruption(op)
+}
 
 // runChaosScenario builds a fresh overlay, replays one scenario against
 // it with the invariant checker attached, and closes with a forced sweep
@@ -240,18 +294,29 @@ func runChaosScenario(opts ChaosOptions, sc chaos.Scenario) (ChaosScenarioResult
 		}
 	}
 
+	repairs := checker.Repairs()
+	unrepaired := checker.Unrepaired()
+	ttr := ttrStats(repairs)
+	verdicts := make(map[string]bool, len(chaos.Invariants()))
+	for _, inv := range chaos.Invariants() {
+		verdicts[inv] = final.ByInvariant[inv] == 0
+	}
 	return ChaosScenarioResult{
-		Scenario:      sc.Name,
-		Timeline:      sc,
-		Applied:       inj.Applied(),
-		Checks:        checker.Records(),
-		Repairs:       checker.Repairs(),
-		Unrepaired:    checker.Unrepaired(),
-		FinalCheck:    final,
-		FinalClean:    final.Total == 0,
-		TTR:           ttrStats(checker.Repairs()),
-		DeliveryRatio: c.Tracker.Ratio(),
-		Survivors:     float64(initialAlive) / float64(opts.Nodes),
+		Scenario:          sc.Name,
+		Timeline:          sc,
+		Applied:           inj.Applied(),
+		Checks:            checker.Records(),
+		Repairs:           repairs,
+		Unrepaired:        unrepaired,
+		FinalCheck:        final,
+		FinalClean:        final.Total == 0,
+		InvariantVerdicts: verdicts,
+		TTR:               ttr,
+		TTRByKind:         ttrByKind(repairs),
+		MaxTTR:            sc.MaxTTR,
+		WithinBound:       sc.MaxTTR == 0 || (len(unrepaired) == 0 && ttr.Max <= sc.MaxTTR),
+		DeliveryRatio:     c.Tracker.Ratio(),
+		Survivors:         float64(initialAlive) / float64(opts.Nodes),
 	}, nil
 }
 
@@ -262,16 +327,23 @@ func (r *ChaosResult) Render() string {
 	fmt.Fprintf(&b, "Chaos suite — scripted faults with continuous invariant checking\n")
 	fmt.Fprintf(&b, "(%d nodes × %d subscriptions, %s, check every %d steps, seed %d)\n",
 		r.Opts.Nodes, r.Opts.SubsPerNode, r.Opts.Config.Name, r.Opts.CheckEvery, r.Opts.Seed)
-	fmt.Fprintf(&b, "%-16s %-8s %8s %8s %10s %10s %9s %10s\n",
-		"scenario", "verdict", "faults", "repairs", "ttr p50", "ttr max", "delivery", "survivors")
+	fmt.Fprintf(&b, "%-16s %-8s %8s %8s %10s %10s %10s %9s %10s\n",
+		"scenario", "verdict", "faults", "repairs", "ttr p50", "ttr max", "bound", "delivery", "survivors")
 	for _, s := range r.Scenarios {
 		verdict := "CLEAN"
-		if !s.FinalClean {
+		switch {
+		case !s.FinalClean:
 			verdict = "DIRTY"
+		case !s.WithinBound:
+			verdict = "SLOW"
 		}
-		fmt.Fprintf(&b, "%-16s %-8s %8d %8d %10d %10d %9.3f %10.2f\n",
+		bound := "-"
+		if s.MaxTTR > 0 {
+			bound = fmt.Sprintf("%d", s.MaxTTR)
+		}
+		fmt.Fprintf(&b, "%-16s %-8s %8d %8d %10d %10d %10s %9.3f %10.2f\n",
 			s.Scenario, verdict, len(s.Applied), s.TTR.Samples,
-			s.TTR.Median, s.TTR.Max, s.DeliveryRatio, s.Survivors)
+			s.TTR.Median, s.TTR.Max, bound, s.DeliveryRatio, s.Survivors)
 	}
 	for _, s := range r.Scenarios {
 		if s.FinalClean {

@@ -34,6 +34,10 @@ func TestChaosPresetsEndClean(t *testing.T) {
 			t.Errorf("%s: final sweep dirty: %d violations %v; sample %+v",
 				s.Scenario, s.FinalCheck.Total, s.FinalCheck.ByInvariant, s.FinalCheck.Sample)
 		}
+		if !s.WithinBound {
+			t.Errorf("%s: repair bound %d exceeded (ttr max %d, %d unrepaired)",
+				s.Scenario, s.MaxTTR, s.TTR.Max, len(s.Unrepaired))
+		}
 		if len(s.Applied) == 0 {
 			t.Errorf("%s: no faults applied", s.Scenario)
 		}
@@ -42,6 +46,54 @@ func TestChaosPresetsEndClean(t *testing.T) {
 		}
 		if s.DeliveryRatio < 0.5 {
 			t.Errorf("%s: delivery ratio %.3f collapsed", s.Scenario, s.DeliveryRatio)
+		}
+		for inv, clean := range s.InvariantVerdicts {
+			if !clean {
+				t.Errorf("%s: invariant %s dirty in final sweep", s.Scenario, inv)
+			}
+		}
+	}
+	if !res.AllClean() {
+		t.Error("AllClean() false on a suite whose scenarios all passed")
+	}
+}
+
+// TestChaosCorruptionPresetsMeasurePerFaultTTR pins the corruption-specific
+// report surface: both corruption presets must declare a repair bound and
+// report a per-fault-kind TTR distribution for the ops they script.
+func TestChaosCorruptionPresetsMeasurePerFaultTTR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped with -short")
+	}
+	opts := chaosTestOptions()
+	opts.Scenarios = []string{"corruption", "byzantine-state"}
+	res, err := RunChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scenarios {
+		if s.MaxTTR == 0 {
+			t.Errorf("%s: corruption preset without a declared repair bound", s.Scenario)
+		}
+		if len(s.TTRByKind) == 0 {
+			t.Errorf("%s: no per-fault-kind TTR distribution", s.Scenario)
+			continue
+		}
+		sawCorrupt := false
+		for kind, st := range s.TTRByKind {
+			if st.Samples == 0 {
+				t.Errorf("%s: fault kind %s has an empty distribution", s.Scenario, kind)
+			}
+			if st.P99 < st.Median || st.Max < st.P99 {
+				t.Errorf("%s: %s quantiles not monotone: %+v", s.Scenario, kind, st)
+			}
+			if len(kind) > 8 && kind[:8] == "corrupt-" {
+				sawCorrupt = true
+			}
+		}
+		if !sawCorrupt {
+			t.Errorf("%s: no corrupt-* fault kind in TTR breakdown (have %v)",
+				s.Scenario, s.TTRByKind)
 		}
 	}
 }
@@ -54,7 +106,10 @@ func TestChaosReplayEquivalence(t *testing.T) {
 		t.Skip("chaos replay is long; skipped with -short")
 	}
 	opts := chaosTestOptions()
-	opts.Scenarios = []string{"dependability"}
+	// One fail-stop scenario plus one corruption scenario: the Corrupt
+	// action draws victims and ops from the injector's stream, so it must
+	// replay bit-identically at any worker count like every other kind.
+	opts.Scenarios = []string{"dependability", "corruption"}
 	run := func(workers int) []byte {
 		o := opts
 		o.Parallelism = workers
