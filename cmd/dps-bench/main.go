@@ -25,6 +25,16 @@
 // wall-clock bound (live engines tick in real time), so like scale it is
 // excluded from -experiment all and must be selected explicitly.
 //
+// The throughput experiment measures the sustained event pipeline on all
+// three engines, batched and unbatched (internal/conform.RunThroughput):
+// a publish storm at a fixed per-tick burst rate, reporting sustained
+// events/sec (steady-state delivered-pair arrival rate) and wall-clock
+// delivery latency percentiles. In -json each run carries
+// "events_per_sec" (float, sustained delivered pairs per second),
+// "latency_p50_ms" and "latency_p99_ms" (float, publish-to-delivery
+// wall-clock percentiles in milliseconds). Wall-clock bound like conform
+// and scale, so -experiment all skips it — select it explicitly.
+//
 // -json replaces the rendered tables with one machine-readable JSON
 // document (run parameters, per-experiment wall-clock, full result
 // structs) for the BENCH_*.json performance trajectory and the CI
@@ -59,7 +69,7 @@ func main() {
 func run() int {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, chaos-corruption, conform, scale, all")
+			"one of: table1, table1-protocol, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig3g, latency, ablations, analysis, chaos, chaos-corruption, conform, throughput, scale, all")
 		scale    = flag.Float64("scale", 1.0, "scale factor on paper-size populations and durations")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
@@ -74,10 +84,11 @@ func run() int {
 	ran := false
 	report := benchReport{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	for _, exp := range registry() {
-		if want != exp.name && !(want == "all" && exp.name != "scale" && exp.name != "conform") {
-			// "all" covers the paper artefacts; the 50k-node scale run and
-			// the wall-clock-bound cross-engine conformance matrix are
-			// orders of magnitude heavier and must be selected explicitly.
+		if want != exp.name && !(want == "all" && exp.name != "scale" && exp.name != "conform" && exp.name != "throughput") {
+			// "all" covers the paper artefacts; the 50k-node scale run, the
+			// wall-clock-bound cross-engine conformance matrix and the
+			// sustained-throughput measurement are orders of magnitude
+			// heavier (or wall-clock bound) and must be selected explicitly.
 			continue
 		}
 		ran = true
@@ -281,6 +292,24 @@ func registry() []experimentEntry {
 			opts.Workers = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 12)
 			res, err := conform.Run(opts)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}},
+		{"throughput", func(seed int64, scale float64, parallel int) (renderable, error) {
+			opts := conform.DefaultThroughputOptions()
+			opts.Seed = seed
+			opts.Workers = parallel
+			// The tuned sustained configuration: dense bursts, long ticks,
+			// sparse subscriptions — the regime the batched pipeline's
+			// speedup claim is measured in (see TestThroughputNightly).
+			opts.Nodes = scaleInt(32, scale, 8)
+			opts.SubsPerNode = 1
+			opts.Events = scaleInt(12000, scale, 400)
+			opts.Burst = scaleInt(1200, scale, 40)
+			opts.TickEvery = 8 * time.Millisecond
+			res, err := conform.RunThroughput(opts)
 			if err != nil {
 				return nil, err
 			}

@@ -62,7 +62,7 @@ func main() {
 func run() int {
 	var (
 		benchPath = flag.String("bench", "", "path to `go test -bench` output (\"-\" for stdin)")
-		dpsPath   = flag.String("dps", "", "path to `dps-bench -json` output")
+		dpsPath   = flag.String("dps", "", "comma-separated path(s) to `dps-bench -json` output; documents merge, later files win on name collisions")
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline file to check against (or write with -update)")
 		update    = flag.Bool("update", false, "write the parsed metrics as the new baseline instead of checking")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression in allocs/op before failing")
@@ -90,7 +90,7 @@ func run() int {
 		current.Benchmarks = metrics
 	}
 	if *dpsPath != "" {
-		exps, err := parseDPSBench(*dpsPath)
+		exps, err := parseDPSBenchAll(*dpsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dps-benchguard:", err)
 			return 2
@@ -240,6 +240,24 @@ func parseBenchOutput(path string) (map[string]BenchMetric, error) {
 		out[m[1]] = metric
 	}
 	return out, sc.Err()
+}
+
+// parseDPSBenchAll merges one or more comma-separated `dps-bench -json`
+// documents into a single experiment -> elapsed_ms table. Experiments
+// excluded from `-experiment all` (throughput, conform, scale) arrive as
+// separate documents; later files win on name collisions.
+func parseDPSBenchAll(paths string) (map[string]float64, error) {
+	merged := make(map[string]float64)
+	for _, path := range strings.Split(paths, ",") {
+		exps, err := parseDPSBench(strings.TrimSpace(path))
+		if err != nil {
+			return nil, err
+		}
+		for name, ms := range exps {
+			merged[name] = ms
+		}
+	}
+	return merged, nil
 }
 
 // parseDPSBench extracts experiment -> elapsed_ms from a

@@ -40,6 +40,38 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+func TestParseDPSBenchAllMerges(t *testing.T) {
+	dir := t.TempDir()
+	all := filepath.Join(dir, "all.json")
+	tp := filepath.Join(dir, "tp.json")
+	if err := os.WriteFile(all, []byte(`{"experiments":[
+		{"experiment":"table1","elapsed_ms":80},
+		{"experiment":"fig3a","elapsed_ms":900}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tp, []byte(`{"experiments":[
+		{"experiment":"throughput","elapsed_ms":6000},
+		{"experiment":"table1","elapsed_ms":85}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exps, err := parseDPSBenchAll(all + "," + tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 3 {
+		t.Fatalf("merged %d experiments, want 3: %v", len(exps), exps)
+	}
+	if exps["throughput"] != 6000 || exps["fig3a"] != 900 {
+		t.Errorf("merge lost an experiment: %v", exps)
+	}
+	if exps["table1"] != 85 {
+		t.Errorf("later file should win collisions: table1 = %v", exps["table1"])
+	}
+	if _, err := parseDPSBenchAll(all + ",/nonexistent.json"); err == nil {
+		t.Error("missing file in the list should error")
+	}
+}
+
 func TestCompareTolerance(t *testing.T) {
 	base := Baseline{
 		Benchmarks:  map[string]BenchMetric{"B": {MSPerOp: 100, AllocsPerOp: 1000}},

@@ -85,6 +85,11 @@ type Engine interface {
 	// Publish injects a tracked event at a live node.
 	Publish(id sim.NodeID, ev core.EventID, event filter.Event) error
 
+	// PublishMany injects a run of tracked events at one live node in a
+	// single scheduling round (one Do on the live engines) — the
+	// throughput experiment's bulk path. evs and events are parallel.
+	PublishMany(id sim.NodeID, evs []core.EventID, events []filter.Event) error
+
 	// Restart revives a crashed identity with a fresh protocol instance
 	// re-issuing its durable subscriptions (chaos.Population).
 	Restart(id sim.NodeID)
@@ -182,6 +187,13 @@ type Options struct {
 	LossMargin float64 `json:"loss_margin"`
 	// Workers is the cycle engine's worker count (0/1 sequential).
 	Workers int `json:"workers,omitempty"`
+	// Batch runs every node with the batched event pipeline
+	// (core.Config.BatchEvents): relays coalesce the events they forward
+	// per link per tick into one frame. The conformance matrix with Batch
+	// on is the cross-engine half of the batching-equivalence contract —
+	// the cycle-engine half (bit-identical traces) lives in
+	// internal/experiments.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // DefaultOptions returns a population sized so the full matrix stays
@@ -232,9 +244,10 @@ func (o Options) withDefaults() Options {
 // strict-repair extensions on — the same variant the chaos suite
 // validates on the cycle engine, so cross-engine differences isolate the
 // runtime, not the protocol.
-func nodeConfig(dir core.Directory) core.Config {
+func nodeConfig(dir core.Directory, batch bool) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Directory = dir
 	cfg.StrictRepair = true
+	cfg.BatchEvents = batch
 	return cfg
 }

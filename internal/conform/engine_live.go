@@ -22,6 +22,7 @@ type liveEngine struct {
 	pop   *population
 	rec   *recorder
 	tick  time.Duration
+	batch bool
 	nodes map[sim.NodeID]*core.Node
 	peers map[sim.NodeID]*livenet.Peer
 }
@@ -35,6 +36,7 @@ func newLiveEngine(opts Options, pop *population, rec *recorder) *liveEngine {
 		pop:   pop,
 		rec:   rec,
 		tick:  opts.TickEvery,
+		batch: opts.Batch,
 		nodes: make(map[sim.NodeID]*core.Node),
 		peers: make(map[sim.NodeID]*livenet.Peer),
 	}
@@ -60,7 +62,7 @@ func (e *liveEngine) AwaitStep(step int64) {
 }
 
 func (e *liveEngine) buildNode() *core.Node {
-	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.hub.Alive})
+	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.hub.Alive}, e.batch)
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("conform: NewNode: %v", err)) // static config
@@ -113,6 +115,21 @@ func (e *liveEngine) Publish(id sim.NodeID, ev core.EventID, event filter.Event)
 	node, peer := e.nodes[id], e.peers[id]
 	var pubErr error
 	if err := peer.Do(func() { pubErr = node.Publish(ev, event) }); err != nil {
+		return err
+	}
+	return pubErr
+}
+
+func (e *liveEngine) PublishMany(id sim.NodeID, evs []core.EventID, events []filter.Event) error {
+	node, peer := e.nodes[id], e.peers[id]
+	var pubErr error
+	if err := peer.Do(func() {
+		for i := range evs {
+			if pubErr = node.Publish(evs[i], events[i]); pubErr != nil {
+				return
+			}
+		}
+	}); err != nil {
 		return err
 	}
 	return pubErr

@@ -20,6 +20,7 @@ type simEngine struct {
 	nodes map[sim.NodeID]*core.Node
 	pop   *population
 	rec   *recorder
+	batch bool
 
 	lossDrops, partitionDrops int64
 }
@@ -32,6 +33,7 @@ func newSimEngine(opts Options, pop *population, rec *recorder) *simEngine {
 		nodes: make(map[sim.NodeID]*core.Node),
 		pop:   pop,
 		rec:   rec,
+		batch: opts.Batch,
 	}
 	e.Engine = sim.NewEngine(sim.Config{
 		Seed:    opts.Seed,
@@ -59,7 +61,7 @@ func (e *simEngine) AwaitStep(step int64) {
 }
 
 func (e *simEngine) buildNode() *core.Node {
-	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.Engine.Alive})
+	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.Engine.Alive}, e.batch)
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("conform: NewNode: %v", err)) // static config
@@ -93,6 +95,16 @@ func (e *simEngine) Subscribe(id sim.NodeID, sub filter.Subscription) error {
 
 func (e *simEngine) Publish(id sim.NodeID, ev core.EventID, event filter.Event) error {
 	return e.nodes[id].Publish(ev, event)
+}
+
+func (e *simEngine) PublishMany(id sim.NodeID, evs []core.EventID, events []filter.Event) error {
+	node := e.nodes[id]
+	for i := range evs {
+		if err := node.Publish(evs[i], events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *simEngine) Restart(id sim.NodeID) {

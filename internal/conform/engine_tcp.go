@@ -29,6 +29,7 @@ type tcpEngine struct {
 	rec   *recorder
 	tick  time.Duration
 	seed  int64
+	batch bool
 	start time.Time
 
 	dirSrv *tcpnet.DirectoryServer
@@ -63,6 +64,7 @@ func newTCPEngine(opts Options, pop *population, rec *recorder) (*tcpEngine, err
 		rec:          rec,
 		tick:         opts.TickEvery,
 		seed:         opts.Seed,
+		batch:        opts.Batch,
 		start:        time.Now(),
 		dirSrv:       srv,
 		dirCli:       tcpnet.DialDirectory(srv.Addr()),
@@ -133,7 +135,7 @@ func (e *tcpEngine) AliveCount() int {
 // every live peer (both address-book directions).
 func (e *tcpEngine) spawn(id sim.NodeID) *tcpPeer {
 	dc := tcpnet.DialDirectory(e.dirSrv.Addr())
-	cfg := nodeConfig(aliveDirectory{Directory: dc, alive: e.alive})
+	cfg := nodeConfig(aliveDirectory{Directory: dc, alive: e.alive}, e.batch)
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("conform: NewNode: %v", err)) // static config
@@ -198,6 +200,24 @@ func (e *tcpEngine) Publish(id sim.NodeID, ev core.EventID, event filter.Event) 
 	}
 	var pubErr error
 	if err := p.tr.Do(func() { pubErr = p.node.Publish(ev, event) }); err != nil {
+		return err
+	}
+	return pubErr
+}
+
+func (e *tcpEngine) PublishMany(id sim.NodeID, evs []core.EventID, events []filter.Event) error {
+	p := e.peer(id)
+	if p == nil {
+		return fmt.Errorf("conform: publish on dead node %d", id)
+	}
+	var pubErr error
+	if err := p.tr.Do(func() {
+		for i := range evs {
+			if pubErr = p.node.Publish(evs[i], events[i]); pubErr != nil {
+				return
+			}
+		}
+	}); err != nil {
 		return err
 	}
 	return pubErr

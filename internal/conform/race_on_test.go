@@ -1,0 +1,8 @@
+//go:build race
+
+package conform
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock performance gates skip under instrumentation: they would
+// measure the detector, not the pipeline.
+const raceEnabled = true

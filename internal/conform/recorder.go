@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/filter"
@@ -19,11 +20,36 @@ import (
 // time, and logs every delivery hook firing. Hook callbacks arrive on
 // peer/transport goroutines for live engines, so the log is
 // mutex-guarded; everything else is runner-goroutine only.
+// deliverShards spreads the delivery log across independently locked
+// shards (by recipient id): with the batched pipeline a whole batch of
+// deliveries fires back-to-back on each of N node goroutines at tick
+// boundaries, and a single log mutex becomes the contention point the
+// throughput experiment would end up measuring instead of the engines.
+const deliverShards = 16
+
+// deliverShard is one lock's worth of delivery log.
+type deliverShard struct {
+	mu        sync.Mutex
+	delivered map[core.EventID]map[sim.NodeID]bool
+
+	// Wall-clock latency accounting for the throughput experiment:
+	// one sample per (event, node) first delivery of a stamped event.
+	// Conformance runs never stamp, so these stay empty there.
+	latencies   []time.Duration
+	deliverAt   []time.Time // arrival-ordered wall-times of stamped pairs
+	lastDeliver time.Time
+	pairCount   int
+}
+
 type recorder struct {
 	oracle *semtree.Forest
 
-	mu        sync.Mutex
-	delivered map[core.EventID]map[sim.NodeID]bool
+	shards [deliverShards]deliverShard
+
+	// pubAt is stamped by publishAt on the runner goroutine and read by
+	// every delivery hook; read-mostly once the storm is underway.
+	pubMu sync.RWMutex
+	pubAt map[core.EventID]time.Time
 
 	order    []core.EventID
 	expected map[core.EventID]map[sim.NodeID]bool
@@ -31,12 +57,24 @@ type recorder struct {
 }
 
 func newRecorder() *recorder {
-	return &recorder{
-		oracle:    semtree.New(),
-		delivered: make(map[core.EventID]map[sim.NodeID]bool),
-		expected:  make(map[core.EventID]map[sim.NodeID]bool),
-		matching:  make(map[core.EventID]map[sim.NodeID]bool),
+	r := &recorder{
+		oracle:   semtree.New(),
+		pubAt:    make(map[core.EventID]time.Time),
+		expected: make(map[core.EventID]map[sim.NodeID]bool),
+		matching: make(map[core.EventID]map[sim.NodeID]bool),
 	}
+	for i := range r.shards {
+		r.shards[i].delivered = make(map[core.EventID]map[sim.NodeID]bool)
+	}
+	return r
+}
+
+// publishAt stamps an event's publish wall-time, arming per-delivery
+// latency sampling for it in deliver.
+func (r *recorder) publishAt(ev core.EventID, at time.Time) {
+	r.pubMu.Lock()
+	r.pubAt[ev] = at
+	r.pubMu.Unlock()
 }
 
 // subscribe mirrors a subscription in the oracle.
@@ -74,24 +112,81 @@ func (r *recorder) publish(ev core.EventID, event filter.Event, alive []sim.Node
 
 // deliver logs one delivery hook firing (any goroutine).
 func (r *recorder) deliver(ev core.EventID, id sim.NodeID) {
-	r.mu.Lock()
-	m := r.delivered[ev]
+	s := &r.shards[uint64(id)%deliverShards]
+	s.mu.Lock()
+	m := s.delivered[ev]
 	if m == nil {
 		m = make(map[sim.NodeID]bool)
-		r.delivered[ev] = m
+		s.delivered[ev] = m
 	}
-	m[id] = true
-	r.mu.Unlock()
+	if !m[id] {
+		m[id] = true
+		s.pairCount++
+		r.pubMu.RLock()
+		t0, ok := r.pubAt[ev]
+		r.pubMu.RUnlock()
+		if ok {
+			now := time.Now()
+			s.latencies = append(s.latencies, now.Sub(t0))
+			s.deliverAt = append(s.deliverAt, now)
+			s.lastDeliver = now
+		}
+	}
+	s.mu.Unlock()
+}
+
+// deliveredFor merges one event's delivered set across shards.
+func (r *recorder) deliveredFor(ev core.EventID) map[sim.NodeID]bool {
+	out := make(map[sim.NodeID]bool)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for id := range s.delivered[ev] {
+			out[id] = true
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// latencySummary snapshots the latency samples of stamped events: the
+// pair count, the sorted sample slice, the arrival-ordered delivery
+// wall-times, and the last delivery wall-time.
+func (r *recorder) latencySummary() (pairs int, sorted []time.Duration, arrivals []time.Time, last time.Time) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		sorted = append(sorted, s.latencies...)
+		arrivals = append(arrivals, s.deliverAt...)
+		if s.lastDeliver.After(last) {
+			last = s.lastDeliver
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Before(arrivals[j]) })
+	return len(sorted), sorted, arrivals, last
+}
+
+// deliveredCount reports the total delivered pairs so far (any
+// goroutine) — the drain detector's progress counter.
+func (r *recorder) deliveredCount() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += s.pairCount
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // deliverySummary freezes the recorder into the run record's counters.
 func (r *recorder) deliverySummary() (events int, expectedPairs, deliveredPairs, falseDeliveries int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	events = len(r.order)
 	for _, ev := range r.order {
 		expectedPairs += len(r.expected[ev])
-		for id := range r.delivered[ev] {
+		for id := range r.deliveredFor(ev) {
 			if r.expected[ev][id] {
 				deliveredPairs++
 			} else if !r.matching[ev][id] {
@@ -105,12 +200,11 @@ func (r *recorder) deliverySummary() (events int, expectedPairs, deliveredPairs,
 // deliveredSets snapshots the per-event delivered sets restricted to
 // expected recipients — the unit of cross-engine comparison.
 func (r *recorder) deliveredSets() map[core.EventID]map[sim.NodeID]bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make(map[core.EventID]map[sim.NodeID]bool, len(r.order))
 	for _, ev := range r.order {
-		set := make(map[sim.NodeID]bool, len(r.delivered[ev]))
-		for id := range r.delivered[ev] {
+		got := r.deliveredFor(ev)
+		set := make(map[sim.NodeID]bool, len(got))
+		for id := range got {
 			if r.expected[ev][id] {
 				set[id] = true
 			}

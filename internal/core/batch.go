@@ -1,0 +1,193 @@
+package core
+
+// The batched event pipeline (ROADMAP item 1): per-link coalescing of
+// event traffic.
+//
+// When Config.BatchEvents is on, the send egress (state.go) stages event
+// messages — publishTree and publishGroup, the only two high-volume
+// types — per destination instead of emitting one envelope each. The
+// stage drains back into the single egress at three points:
+//
+//   - flushEventsTo(d): any non-event message bound for d flushes d's
+//     staged events first, so the per-destination message order a peer
+//     observes is exactly the unbatched order;
+//   - Node.Publish: the publish path flushes before returning, so a
+//     publisher that crashes right after Publish has its events on the
+//     wire exactly when the unbatched path would (the cycle engine's
+//     kill semantics deliver in-flight messages);
+//   - Node.OnTick: the end of a tick flushes everything staged during
+//     the tick's message deliveries and the tick itself — one frame per
+//     (link, step) carrying every event that crossed it.
+//
+// Outside those windows the stage is empty, so crash, restart and
+// corruption surfaces observe no new state. A singleton stage is sent
+// unwrapped; only genuine coalescing pays the envelope byte.
+//
+// Equivalence contract: batching must not change what the protocol
+// computes. Within a destination the message order is preserved exactly
+// (the flushEventsTo rule); across destinations a staged event moves
+// from its delivery-phase send slot to its sender's tick, which on the
+// cycle engine lands in the same step — every event is still delivered
+// one step after it was sent, to the same recipients, in the same
+// per-sender order. The receiving kernel unpacks a batch through the
+// exact per-event handler chain (dispatch + drainSelf per inner), so a
+// batch of N events evolves node state precisely as N back-to-back
+// deliveries. TestBatchingTraceEquivalence pins this: Table 1 and
+// Fig 3(a) metrics and delivered-event sets are bit-identical with
+// batching on and off, at any worker count.
+//
+// The loss caveat: a batch is one envelope, so a loss draw (sim
+// LossRate) or a dropped TCP frame takes all N events at once where the
+// unbatched path would lose one. That matches real transport framing —
+// and is why the pinned equivalence runs use crash faults, not loss.
+
+import (
+	"fmt"
+
+	"github.com/dps-overlay/dps/internal/metrics"
+	"github.com/dps-overlay/dps/internal/sim"
+	"github.com/dps-overlay/dps/internal/wire"
+)
+
+// batchedEvents is the wire envelope coalescing the event messages one
+// node emits toward one destination within one tick. Only event types
+// (publishTree, publishGroup) may appear inside; the decoder enforces
+// this, and rejects empty and nested batches.
+type batchedEvents struct {
+	Msgs []message
+}
+
+// A batch is event traffic for the metrics registry. The registry counts
+// wire envelopes, so a batch of N events counts once — the coalescing is
+// exactly what the per-kind counters are meant to show.
+func (batchedEvents) MetricKind() metrics.Kind { return metrics.KindEvent }
+
+var _ metrics.Kinded = batchedEvents{}
+
+func (b batchedEvents) appendBody(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(b.Msgs)))
+	for _, m := range b.Msgs {
+		dst = append(dst, byte(m.msgType()))
+		dst = m.appendBody(dst)
+	}
+	return dst
+}
+
+// decodeBatchedEvents decodes the batch body. Inner messages are decoded
+// through the same per-type decoders as standalone frames; anything but
+// an event type inside a batch — including another batch — is malformed,
+// as is an empty batch (the encoder never produces one).
+func decodeBatchedEvents(r *wire.Reader) message {
+	// The smallest inner event (type byte + minimal publishGroup body)
+	// occupies several bytes; 4 bounds the count allocation safely.
+	n := r.ListLenSized(4)
+	if r.Err() != nil {
+		return batchedEvents{}
+	}
+	if n == 0 {
+		r.Fail(fmt.Errorf("core: empty event batch on the wire"))
+		return batchedEvents{}
+	}
+	msgs := make([]message, 0, wire.CapHint(n, 256))
+	for i := 0; i < n; i++ {
+		t := MsgType(r.Byte())
+		if r.Err() != nil {
+			return batchedEvents{}
+		}
+		switch t {
+		case MsgPublishTree:
+			msgs = append(msgs, decodePublishTree(r))
+		case MsgPublishGroup:
+			msgs = append(msgs, decodePublishGroup(r))
+		default:
+			r.Fail(fmt.Errorf("core: event batch carries message type %d", t))
+			return batchedEvents{}
+		}
+		if r.Err() != nil {
+			return batchedEvents{}
+		}
+	}
+	return batchedEvents{Msgs: msgs}
+}
+
+// eventBatcher is the per-node outbound stage: staged events per
+// destination, flushed in first-staged order. All slices retain capacity
+// across flushes, so the steady-state stage allocates nothing.
+type eventBatcher struct {
+	order []sim.NodeID       // destinations in first-staged order
+	idx   map[sim.NodeID]int // destination -> slot in msgs
+	msgs  [][]message        // staged events per slot
+}
+
+// stage appends msg to the destination's pending batch, opening a slot
+// on first use. Slots emptied by a targeted flush are left in order (the
+// full flush skips them); a re-staged destination takes a fresh slot, so
+// its later events still flush after everything staged before them.
+func (b *eventBatcher) stage(to sim.NodeID, msg message) {
+	if b.idx == nil {
+		b.idx = make(map[sim.NodeID]int)
+	}
+	slot, ok := b.idx[to]
+	if !ok {
+		slot = len(b.order)
+		b.order = append(b.order, to)
+		if slot == len(b.msgs) {
+			b.msgs = append(b.msgs, nil)
+		}
+		b.idx[to] = slot
+	}
+	b.msgs[slot] = append(b.msgs[slot], msg)
+}
+
+// flushEvents drains the whole stage in first-staged order. Called at
+// the end of every tick and every publish; a no-op when nothing is
+// staged (including whenever batching is off).
+func (s *state) flushEvents() {
+	b := &s.batch
+	if len(b.order) == 0 {
+		return
+	}
+	for i, to := range b.order {
+		msgs := b.msgs[i]
+		if len(msgs) == 0 {
+			continue
+		}
+		s.sendEventBatch(to, msgs)
+		b.msgs[i] = msgs[:0]
+	}
+	b.order = b.order[:0]
+	for to := range b.idx {
+		delete(b.idx, to)
+	}
+}
+
+// flushEventsTo drains one destination's staged events — the ordering
+// fence: a non-event message about to go to that destination must not
+// overtake events staged before it.
+func (s *state) flushEventsTo(to sim.NodeID) {
+	b := &s.batch
+	slot, ok := b.idx[to]
+	if !ok {
+		return
+	}
+	delete(b.idx, to)
+	msgs := b.msgs[slot]
+	if len(msgs) == 0 {
+		return
+	}
+	s.sendEventBatch(to, msgs)
+	b.msgs[slot] = msgs[:0]
+}
+
+// sendEventBatch emits one destination's staged events: unwrapped when
+// the stage holds a single event, as a batchedEvents envelope otherwise.
+// The inner slice is copied — the stage's backing array is reused next
+// tick, and the envelope may still be in flight (queued in the cycle
+// engine, pending in a transport buffer) by then.
+func (s *state) sendEventBatch(to sim.NodeID, msgs []message) {
+	if len(msgs) == 1 {
+		s.env.Send(to, msgs[0])
+		return
+	}
+	s.env.Send(to, batchedEvents{Msgs: append([]message(nil), msgs...)})
+}

@@ -88,6 +88,7 @@ var wireDecoders = [msgTypeMax + 1]func(*wire.Reader) message{
 	MsgCoLeaderUpdate: decodeCoLeaderUpdate,
 	MsgRehome:         decodeRehome,
 	MsgRootInvite:     decodeRootInvite,
+	MsgBatchedEvents:  decodeBatchedEvents,
 }
 
 // --- Shared field helpers --------------------------------------------------
@@ -438,5 +439,9 @@ func WireSamples() []any {
 		rehome{AF: child},
 		rootInvite{Attr: "price", Leader: 1, CoLeaders: []sim.NodeID{2},
 			Members: []sim.NodeID{1, 2, 3}, Branches: []Branch{childBranch}},
+		batchedEvents{Msgs: []message{
+			publishTree{ID: 77, Event: ev, Attr: "price", AF: af, Mode: RootBased, Up: true, FromAF: child},
+			publishGroup{ID: 78, Event: ev, AF: af, Hops: 4},
+		}},
 	}
 }

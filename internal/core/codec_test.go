@@ -255,6 +255,18 @@ func randMessage(rng *rand.Rand, typ MsgType) message {
 	case MsgRootInvite:
 		return rootInvite{Attr: "price", Leader: id, CoLeaders: randNodeIDs(rng),
 			Members: randNodeIDs(rng), Branches: randBranches(rng)}
+	case MsgBatchedEvents:
+		// A batch carries 1..4 inner events of the two event types only
+		// (the decoder rejects anything else inside a batch).
+		inner := make([]message, 1+rng.Intn(4))
+		for i := range inner {
+			if rng.Intn(2) == 0 {
+				inner[i] = randMessage(rng, MsgPublishTree)
+			} else {
+				inner[i] = randMessage(rng, MsgPublishGroup)
+			}
+		}
+		return batchedEvents{Msgs: inner}
 	default:
 		panic(fmt.Sprintf("randMessage: unhandled type %d", typ))
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/wire"
+)
+
+// FuzzDecodeBatchFrame drives the batched-events decoder with arbitrary
+// bytes. The corpus starts from the golden-vector encodings (every batch
+// in WireSamples, plus synthetic batches wrapping each event sample) and
+// adversarial shapes the wild will eventually produce: length-amplified
+// counts claiming far more inner events than the frame carries, every
+// truncation of a valid batch, and batches smuggling non-event types.
+//
+// The decoder's contract under fuzzing: never panic, never allocate
+// beyond the frame bound (ListLenSized), and any accepted batch must
+// (a) contain only event messages, (b) re-encode to a canonical
+// fixpoint, and (c) carry inner messages identical to what the
+// standalone per-event decoders produce — the property the kernel's
+// unpack path relies on when it feeds a batch through the per-event
+// handler chain.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	var events []message
+	for _, s := range WireSamples() {
+		switch m := s.(type) {
+		case batchedEvents:
+			data, err := AppendMessage(nil, m)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		case publishTree, publishGroup:
+			events = append(events, m.(message))
+		}
+	}
+	if len(events) < 2 {
+		f.Fatal("WireSamples lost its event messages")
+	}
+	// Synthetic batches over the golden event samples: homogeneous pairs
+	// and the full heterogeneous run.
+	for _, msgs := range [][]message{
+		{events[0], events[0]},
+		{events[1], events[1]},
+		events,
+	} {
+		data, err := AppendMessage(nil, batchedEvents{Msgs: msgs})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	valid, err := AppendMessage(nil, batchedEvents{Msgs: events})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Length amplification: headers claiming huge batches backed by a few
+	// bytes. The count allocation must stay bounded by the frame size.
+	for _, claim := range []uint64{3, 255, 1 << 16, 1 << 30, 1<<64 - 1} {
+		frame := []byte{WireVersion, byte(MsgBatchedEvents)}
+		frame = wire.AppendUvarint(frame, claim)
+		f.Add(append(frame, valid[3:10]...))
+	}
+	// Truncations at a few interesting cuts (the fuzzer explores the rest).
+	for _, cut := range []int{2, 3, 4, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	// A batch carrying a non-event type, and a batch nesting a batch.
+	bad := []byte{WireVersion, byte(MsgBatchedEvents)}
+	bad = wire.AppendUvarint(bad, 1)
+	f.Add(append(append([]byte(nil), bad...), byte(MsgHeartbeat)))
+	f.Add(append(append([]byte(nil), bad...), byte(MsgBatchedEvents)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeMessage(data)
+		if err != nil {
+			return // rejection is fine; panics and hangs are the failure mode
+		}
+		batch, ok := msg.(batchedEvents)
+		if !ok {
+			return // some other message type: FuzzDecodeMessage's territory
+		}
+		if len(batch.Msgs) == 0 {
+			t.Fatalf("empty batch decoded from %x", data)
+		}
+		for _, inner := range batch.Msgs {
+			switch inner.msgType() {
+			case MsgPublishTree, MsgPublishGroup:
+			default:
+				t.Fatalf("batch accepted non-event inner %v from %x", inner.msgType(), data)
+			}
+			// Each inner must be exactly what the standalone decoder
+			// produces for its own frame — the unpack-equivalence property.
+			standalone, err := AppendMessage(nil, inner)
+			if err != nil {
+				t.Fatalf("inner %#v does not encode standalone: %v", inner, err)
+			}
+			back, err := DecodeMessage(standalone)
+			if err != nil {
+				t.Fatalf("standalone re-decode of inner failed: %v", err)
+			}
+			if !reflect.DeepEqual(back, inner) {
+				t.Fatalf("inner diverges from standalone decode:\n  batch:      %#v\n  standalone: %#v", inner, back)
+			}
+		}
+		// Canonical fixpoint, as for every other accepted message.
+		canon, err := AppendMessage(nil, batch)
+		if err != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+		again, err := DecodeMessage(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes %x do not decode: %v", canon, err)
+		}
+		canon2, err := AppendMessage(nil, again)
+		if err != nil {
+			t.Fatalf("re-encoding canonical decode failed: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixpoint:\n  first:  %x\n  second: %x", canon, canon2)
+		}
+	})
+}

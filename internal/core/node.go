@@ -199,9 +199,14 @@ func (n *Node) Unsubscribe(sub filter.Subscription) error {
 }
 
 // Publish injects an event into the overlay under the given id: one
-// publication per attribute tree the event touches (paper §4.1).
+// publication per attribute tree the event touches (paper §4.1). The
+// publish path flushes any staged event batches before returning, so a
+// publisher crashing right after Publish leaves exactly the messages on
+// the wire the unbatched path would.
 func (n *Node) Publish(id EventID, ev filter.Event) error {
-	return n.dis.publish(id, ev)
+	err := n.dis.publish(id, ev)
+	n.st.flushEvents()
+	return err
 }
 
 // OnMessage implements sim.Process: liveness bookkeeping, kernel
@@ -233,6 +238,9 @@ func (n *Node) OnTick() {
 		n.rep.viewExchangeRound()
 	}
 	n.gcSeen(now)
+	// End-of-tick flush: everything staged while this tick's deliveries
+	// and rounds ran goes out as one frame per link (batch.go).
+	n.st.flushEvents()
 }
 
 // gcSeen periodically expires the dedup memories of all subsystems.

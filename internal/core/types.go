@@ -163,6 +163,14 @@ type Config struct {
 	// facade, the live deployments and the chaos suite switch it on.
 	StrictRepair bool
 
+	// BatchEvents turns on the batched event pipeline (batch.go):
+	// outbound event messages coalesce per destination and go out as one
+	// batchedEvents frame per link per tick, with the per-destination
+	// message order preserved exactly. Off by default so the pinned paper
+	// experiments replay byte-identical traces; the throughput experiment
+	// and the live deployments switch it on.
+	BatchEvents bool
+
 	// Directory is the attribute→tree bootstrap service shared by the
 	// deployment (see Directory). Required.
 	Directory Directory

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/dps-overlay/dps/internal/core"
+	"github.com/dps-overlay/dps/internal/metrics"
+	"github.com/dps-overlay/dps/internal/sim"
+	"github.com/dps-overlay/dps/internal/workload"
+)
+
+// TestBatchingTraceEquivalence pins the correctness contract of the
+// batched event pipeline (core/batch.go): with BatchEvents on, the
+// protocol must compute exactly what the unbatched protocol computes.
+// Three layers of evidence, each at workers 1, 2 and 4:
+//
+//   - Table 1 through the full message-level protocol: every row
+//     (matching %, contacted %, false positives, trees, groups) is
+//     bit-identical batched vs unbatched;
+//   - Fig 3(a) under crash faults: delivery ratios and survivor
+//     fractions are bit-identical while kills, healing and co-leader
+//     promotion run against the batched pipeline;
+//   - raw traces: the full delivered-event set (event -> sorted
+//     recipients) and the contacted sets of a killing run are deep-equal
+//     batched vs unbatched.
+//
+// The cross-engine half of the contract — the conformance matrix with
+// its batching dimension on livenet and tcpnet — lives in
+// internal/conform (TestConformBatching).
+func TestBatchingTraceEquivalence(t *testing.T) {
+	workerCounts := []int{1, 2, 4}
+
+	t.Run("table1", func(t *testing.T) {
+		run := func(workers int, batch bool) *Table1Result {
+			res, err := RunTable1(Table1Options{
+				Seed: 5, Nodes: 120, Events: 80, UseProtocol: true,
+				Parallelism: workers, Batch: batch,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		want := run(1, false)
+		for _, w := range workerCounts {
+			got := run(w, true)
+			for i := range want.Rows {
+				if wr, gr := want.Rows[i], got.Rows[i]; wr != gr {
+					t.Errorf("workers=%d %s: batched row differs\n  unbatched: %+v\n  batched:   %+v",
+						w, wr.Workload, wr, gr)
+				}
+			}
+		}
+	})
+
+	t.Run("fig3a", func(t *testing.T) {
+		run := func(workers int, batch bool) *Fig3aResult {
+			res, err := RunFig3a(Fig3aOptions{
+				Seed:         7,
+				Nodes:        80,
+				Steps:        300,
+				SubsPerNode:  2,
+				EventEvery:   10,
+				FailureProbs: []float64{0.05},
+				Configs:      smallConfigs(),
+				SettleTail:   40,
+				Parallelism:  workers,
+				Batch:        batch,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		want := run(1, false)
+		for _, w := range workerCounts {
+			got := run(w, true)
+			for i := range want.Series {
+				ws, gs := want.Series[i], got.Series[i]
+				if !reflect.DeepEqual(ws, gs) {
+					t.Errorf("workers=%d %s: batched series differs\n  unbatched: %+v\n  batched:   %+v",
+						w, ws.Config, ws, gs)
+				}
+			}
+		}
+	})
+
+	t.Run("delivered-sets", func(t *testing.T) {
+		type trace struct {
+			delivered map[metrics.EventID][]int64
+			contacted map[core.EventID]map[sim.NodeID]bool
+			ratio     float64
+		}
+		run := func(workers int, batch bool) trace {
+			c := NewClusterParallel(ConfigSpec{
+				Name:      "leader root",
+				Traversal: core.RootBased,
+				Comm:      core.LeaderBased,
+			}, 11, workers)
+			if batch {
+				c.MutateConfig = func(cfg *core.Config) { cfg.BatchEvents = true }
+			}
+			gen := workload.MustGenerator(workload.Workload2(), 11)
+			c.SubscribePopulation(60, 2, 25, gen)
+			rng := rand.New(rand.NewSource(11 ^ 0xbeef))
+			// A killing run: events race repairs, the regime where an
+			// ordering bug in the batched pipeline would surface.
+			for step := 1; step <= 240; step++ {
+				if step%8 == 0 {
+					c.PublishTracked(gen.Event(), rng.Int63())
+				}
+				if step%30 == 0 && c.Engine.AliveCount() > 10 {
+					c.KillRandomAlive(rng.Int63())
+				}
+				c.Engine.Step()
+			}
+			c.Engine.Run(60)
+			return trace{
+				delivered: c.Tracker.DeliveredPairs(),
+				contacted: c.Contacted,
+				ratio:     c.Tracker.Ratio(),
+			}
+		}
+		want := run(1, false)
+		if len(want.delivered) == 0 {
+			t.Fatal("reference run delivered nothing — scenario too small to prove anything")
+		}
+		for _, w := range workerCounts {
+			got := run(w, true)
+			if !reflect.DeepEqual(want.delivered, got.delivered) {
+				t.Errorf("workers=%d: delivered-event sets differ batched vs unbatched", w)
+			}
+			if !reflect.DeepEqual(want.contacted, got.contacted) {
+				t.Errorf("workers=%d: contacted sets differ batched vs unbatched", w)
+			}
+			if want.ratio != got.ratio {
+				t.Errorf("workers=%d: delivery ratio %v (batched) != %v (unbatched)", w, got.ratio, want.ratio)
+			}
+		}
+	})
+}
+
+// TestBatchingCoalesces asserts the pipeline actually batches: a relay
+// under multi-event load must emit fewer event envelopes than events it
+// forwards. Guards against the silent regression where a refactor leaves
+// BatchEvents wired but every "batch" a singleton.
+func TestBatchingCoalesces(t *testing.T) {
+	run := func(batch bool) (envelopes int64) {
+		c := NewCluster(ConfigSpec{
+			Name:      "leader root",
+			Traversal: core.RootBased,
+			Comm:      core.LeaderBased,
+		}, 3)
+		if batch {
+			c.MutateConfig = func(cfg *core.Config) { cfg.BatchEvents = true }
+		}
+		gen := workload.MustGenerator(workload.Workload2(), 3)
+		c.SubscribePopulation(60, 2, 25, gen)
+		// Publish bursts so several events cross the same links in one
+		// step — the coalescing window.
+		rng := rand.New(rand.NewSource(99))
+		for step := 1; step <= 60; step++ {
+			for i := 0; i < 4; i++ {
+				c.PublishTracked(gen.Event(), rng.Int63())
+			}
+			c.Engine.Step()
+		}
+		c.Engine.Run(40)
+		for _, counts := range c.Registry.Snapshot() {
+			envelopes += counts.OutOf(metrics.KindEvent)
+		}
+		return envelopes
+	}
+	unbatched := run(false)
+	batched := run(true)
+	if batched >= unbatched {
+		t.Fatalf("batching sent %d event envelopes, unbatched sent %d — no coalescing happened",
+			batched, unbatched)
+	}
+	t.Logf("event envelopes: unbatched %d, batched %d (%.1f%% of unbatched)",
+		unbatched, batched, 100*float64(batched)/float64(unbatched))
+}

@@ -1,6 +1,9 @@
 package metrics
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // EventID identifies a published event for delivery accounting.
 type EventID int64
@@ -89,6 +92,27 @@ func (d *DeliveryTracker) Events() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.expected)
+}
+
+// DeliveredPairs returns the full delivered set as a map from event to
+// its sorted recipient list — the trace a delivered-set equivalence test
+// compares across runs (batched vs unbatched, engine vs engine).
+func (d *DeliveryTracker) DeliveredPairs() map[EventID][]int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[EventID][]int64, len(d.delivered))
+	for id, nodes := range d.delivered {
+		if len(nodes) == 0 {
+			continue
+		}
+		list := make([]int64, 0, len(nodes))
+		for n := range nodes {
+			list = append(list, n)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[id] = list
+	}
+	return out
 }
 
 // Forget drops events published before the step, bounding memory in long

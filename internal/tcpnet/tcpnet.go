@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/dps-overlay/dps/internal/sim"
+	"github.com/dps-overlay/dps/internal/wire"
 )
 
 // Config parameterises a Transport.
@@ -67,6 +68,11 @@ type Transport struct {
 	wg      sync.WaitGroup
 	dropped atomic.Int64
 	closed  bool
+
+	// flushQ lists connections with pending frames, in first-write order.
+	// mainLoop-goroutine state: send() fills it, flushPending drains it
+	// after every message, command and tick.
+	flushQ []*outConn
 }
 
 type inboxItem struct {
@@ -75,12 +81,23 @@ type inboxItem struct {
 	cmd  func()
 }
 
-// outConn is one outbound connection plus its reusable frame buffer.
+// outConn is one outbound connection plus its pending write buffer: a
+// pooled encoder frames accumulate in until the next flush (see send and
+// flushPending). enc, pendFrames and queued belong to the mainLoop
+// goroutine; mu guards the socket write against Close.
 type outConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	buf  []byte
+	to   sim.NodeID
+
+	enc        *wire.Encoder // pending frames, encoded in place
+	pendFrames int           // frames in enc (drop accounting on error)
+	queued     bool          // already on the transport's flush queue
 }
+
+// flushThreshold force-flushes a connection whose pending buffer grows
+// past this size mid-iteration, bounding memory under bursts.
+const flushThreshold = 64 << 10
 
 // env adapts Transport to sim.Env.
 type env struct{ t *Transport }
@@ -198,13 +215,18 @@ func (t *Transport) mainLoop() {
 		case item := <-t.inbox:
 			if item.cmd != nil {
 				item.cmd()
-				continue
+			} else {
+				t.proc.OnMessage(item.from, item.msg)
 			}
-			t.proc.OnMessage(item.from, item.msg)
 		case <-ticker.C:
 			t.clock.Add(1)
 			t.proc.OnTick()
 		}
+		// One write per connection per iteration: everything the handler
+		// just sent — a batched-events frame plus whatever control
+		// traffic shares the link — leaves in a single syscall, and
+		// nothing lingers in the buffer while the loop blocks in select.
+		t.flushPending()
 	}
 }
 
@@ -270,7 +292,11 @@ func (t *Transport) readLoop(conn net.Conn) {
 	}
 }
 
-// send encodes one frame to the peer, dialing or re-dialing as needed.
+// send encodes one frame into the peer connection's pending buffer,
+// dialing or re-dialing as needed. The frame is written to the socket by
+// the next flushPending (or immediately when the buffer crosses the
+// flush threshold); encode and write share the connection's pooled
+// encoder buffer, so the message bytes are laid down exactly once.
 // Failures drop the message — the protocol's loss tolerance covers it.
 func (t *Transport) send(to sim.NodeID, msg any) {
 	t.mu.Lock()
@@ -291,7 +317,7 @@ func (t *Transport) send(to sim.NodeID, msg any) {
 			t.dropped.Add(1)
 			return
 		}
-		c = &outConn{conn: conn}
+		c = &outConn{conn: conn, to: to, enc: wire.GetEncoder()}
 		t.mu.Lock()
 		if old := t.conns[to]; old != nil {
 			t.mu.Unlock()
@@ -302,26 +328,63 @@ func (t *Transport) send(to sim.NodeID, msg any) {
 			t.mu.Unlock()
 		}
 	}
-	c.mu.Lock()
-	frame, err := appendTransportFrame(c.buf[:0], t.cfg.ID, t.Addr(), msg)
+	buf, err := appendTransportFrame(c.enc.Buf, t.cfg.ID, t.Addr(), msg)
+	c.enc.Buf = buf // on error the frame is truncated away, pending stays
 	if err != nil {
 		// Unencodable payload (not a protocol message, or over the frame
 		// bound): the connection is fine, the message is not.
-		c.mu.Unlock()
 		t.dropped.Add(1)
 		return
 	}
-	c.buf = frame[:0]
-	_, err = c.conn.Write(frame)
+	c.pendFrames++
+	if !c.queued {
+		c.queued = true
+		t.flushQ = append(t.flushQ, c)
+	}
+	if c.enc.Len() >= flushThreshold {
+		t.flushConn(c)
+	}
+}
+
+// flushPending writes out every connection with buffered frames, in
+// first-write order. Runs on the mainLoop goroutine after each handler.
+func (t *Transport) flushPending() {
+	if len(t.flushQ) == 0 {
+		return
+	}
+	q := t.flushQ
+	t.flushQ = t.flushQ[:0]
+	for _, c := range q {
+		t.flushConn(c)
+	}
+}
+
+// flushConn writes one connection's pending frames in a single syscall.
+// A write error drops the connection and accounts every buffered frame
+// as lost; the next send re-dials. The pooled encoder goes back to the
+// pool on that path — by then nothing aliases its buffer.
+func (t *Transport) flushConn(c *outConn) {
+	n := c.pendFrames
+	c.pendFrames = 0
+	c.queued = false
+	if n == 0 || c.enc == nil || c.enc.Len() == 0 {
+		return
+	}
+	c.mu.Lock()
+	_, err := c.conn.Write(c.enc.Buf)
 	c.mu.Unlock()
+	c.enc.Reset()
 	if err != nil {
 		// Connection went bad: forget it; the next send re-dials.
 		t.mu.Lock()
-		if t.conns[to] == c {
-			delete(t.conns, to)
+		if t.conns[c.to] == c {
+			delete(t.conns, c.to)
 		}
 		t.mu.Unlock()
 		_ = c.conn.Close()
-		t.dropped.Add(1)
+		t.dropped.Add(int64(n))
+		enc := c.enc
+		c.enc = nil
+		wire.PutEncoder(enc)
 	}
 }
