@@ -35,6 +35,15 @@
 // wall-clock percentiles in milliseconds). Wall-clock bound like conform
 // and scale, so -experiment all skips it — select it explicitly.
 //
+// -cover runs the selected experiment with the subscription-covering
+// layer on (core.Config.CoverRouting); the -json record is named
+// "<experiment>+cover" so guarded series stay separate. Only the
+// overlay-stress experiments accept it (chaos, chaos-corruption,
+// conform, scale) — the paper artefacts reproduce published numbers and
+// reject the flag loudly.
+//
+//	dps-bench -experiment scale -cover -json
+//
 // -json replaces the rendered tables with one machine-readable JSON
 // document (run parameters, per-experiment wall-clock, full result
 // structs) for the BENCH_*.json performance trajectory and the CI
@@ -74,6 +83,7 @@ func run() int {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Int("parallel", 0, "engine workers: 0 experiment default, 1 sequential, N>1 parallel, -1 per CPU (same seed ⇒ same results)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON (one document with every selected experiment) instead of tables")
+		cover    = flag.Bool("cover", false, "run with subscription covering (core.Config.CoverRouting); supported by: "+strings.Join(coverExperiments, ", "))
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 10 {
@@ -81,6 +91,15 @@ func run() int {
 		return 2
 	}
 	want := strings.ToLower(*experiment)
+	if *cover && !coverSupported(want) {
+		// The paper artefacts (table1, fig3*, analysis, ...) exist to
+		// reproduce the paper's numbers bit-identically, so -cover fails
+		// loudly there instead of being silently ignored — the same
+		// contract as dps-sim's "-scenario list" handling of engines.
+		fmt.Fprintf(os.Stderr, "dps-bench: -cover is not supported with -experiment %s; covering applies to: %s\n",
+			want, strings.Join(coverExperiments, ", "))
+		return 2
+	}
 	ran := false
 	report := benchReport{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	for _, exp := range registry() {
@@ -92,19 +111,25 @@ func run() int {
 			continue
 		}
 		ran = true
+		// Covered runs get their own record name so the benchmark guard
+		// tracks "scale" and "scale+cover" as separate series.
+		name := exp.name
+		if *cover {
+			name += "+cover"
+		}
 		start := time.Now()
-		res, err := exp.run(*seed, *scale, *parallel)
+		res, err := exp.run(*seed, *scale, *parallel, *cover)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dps-bench: %s: %v\n", exp.name, err)
+			fmt.Fprintf(os.Stderr, "dps-bench: %s: %v\n", name, err)
 			return 1
 		}
 		elapsed := time.Since(start)
 		if *asJSON {
-			report.Experiments = append(report.Experiments, newBenchRecord(exp.name, elapsed, res))
+			report.Experiments = append(report.Experiments, newBenchRecord(name, elapsed, res))
 			continue
 		}
 		fmt.Println(res.Render())
-		fmt.Printf("[%s took %v]\n\n", exp.name, elapsed.Round(time.Millisecond))
+		fmt.Printf("[%s took %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "dps-bench: unknown experiment %q\n", want)
@@ -150,18 +175,32 @@ func newBenchRecord(name string, elapsed time.Duration, res renderable) benchRec
 	}
 }
 
+// coverExperiments lists the experiments -cover applies to: the ones
+// that measure or stress the overlay itself rather than reproduce a
+// specific paper artefact.
+var coverExperiments = []string{"chaos", "chaos-corruption", "conform", "scale"}
+
+func coverSupported(name string) bool {
+	for _, n := range coverExperiments {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // renderable is the contract every experiment result satisfies: a table
 // for humans (Render) plus exported fields for -json.
 type renderable interface{ Render() string }
 
 type experimentEntry struct {
 	name string
-	run  func(seed int64, scale float64, parallel int) (renderable, error)
+	run  func(seed int64, scale float64, parallel int, cover bool) (renderable, error)
 }
 
 func registry() []experimentEntry {
 	return []experimentEntry{
-		{"table1", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"table1", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultTable1Options()
 			opts.Seed = seed
 			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
@@ -172,7 +211,7 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"table1-protocol", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"table1-protocol", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultTable1Options()
 			opts.Seed = seed
 			opts.UseProtocol = true
@@ -187,7 +226,7 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"fig3a", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"fig3a", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultFig3aOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -199,7 +238,7 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"fig3b", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"fig3b", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultFig3bOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -215,7 +254,7 @@ func registry() []experimentEntry {
 		}},
 		{"fig3c", runFig3cd}, {"fig3d", runFig3cd},
 		{"fig3e", runFig3ef}, {"fig3f", runFig3ef},
-		{"fig3g", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"fig3g", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultFig3gOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -229,7 +268,7 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"latency", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"latency", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultLatencyOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -241,7 +280,7 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"ablations", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"ablations", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultAblationOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -253,25 +292,26 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"analysis", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"analysis", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			res, err := experiments.RunAnalysis(experiments.DefaultAnalysisOptions())
 			if err != nil {
 				return nil, err
 			}
 			return res, nil
 		}},
-		{"chaos", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"chaos", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultChaosOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 50)
+			opts.Config.Cover = cover
 			res, err := experiments.RunChaos(opts)
 			if err != nil {
 				return nil, err
 			}
 			return res, nil
 		}},
-		{"chaos-corruption", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"chaos-corruption", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultChaosOptions()
 			opts.Seed = seed
 			opts.Parallelism = parallel
@@ -280,24 +320,26 @@ func registry() []experimentEntry {
 			// experiment covers the whole suite, this line isolates the
 			// bounded-repair machinery for the regression guard.
 			opts.Scenarios = []string{"corruption", "byzantine-state"}
+			opts.Config.Cover = cover
 			res, err := experiments.RunChaos(opts)
 			if err != nil {
 				return nil, err
 			}
 			return res, nil
 		}},
-		{"conform", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"conform", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := conform.DefaultOptions()
 			opts.Seed = seed
 			opts.Workers = parallel
 			opts.Nodes = scaleInt(opts.Nodes, scale, 12)
+			opts.Cover = cover
 			res, err := conform.Run(opts)
 			if err != nil {
 				return nil, err
 			}
 			return res, nil
 		}},
-		{"throughput", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"throughput", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := conform.DefaultThroughputOptions()
 			opts.Seed = seed
 			opts.Workers = parallel
@@ -315,9 +357,10 @@ func registry() []experimentEntry {
 			}
 			return res, nil
 		}},
-		{"scale", func(seed int64, scale float64, parallel int) (renderable, error) {
+		{"scale", func(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 			opts := experiments.DefaultScaleOptions()
 			opts.Seed = seed
+			opts.CoverRouting = cover
 			opts.Nodes = scaleInt(opts.Nodes, scale, 200)
 			opts.Events = scaleInt(opts.Events, scale, 20)
 			if parallel != 0 {
@@ -334,7 +377,7 @@ func registry() []experimentEntry {
 	}
 }
 
-func runFig3cd(seed int64, scale float64, parallel int) (renderable, error) {
+func runFig3cd(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 	opts := experiments.DefaultFig3cdOptions()
 	opts.Seed = seed
 	opts.Parallelism = parallel
@@ -347,7 +390,7 @@ func runFig3cd(seed int64, scale float64, parallel int) (renderable, error) {
 	return res, nil
 }
 
-func runFig3ef(seed int64, scale float64, parallel int) (renderable, error) {
+func runFig3ef(seed int64, scale float64, parallel int, cover bool) (renderable, error) {
 	opts := experiments.DefaultFig3efOptions()
 	opts.Seed = seed
 	opts.Parallelism = parallel

@@ -1,10 +1,14 @@
 // Command dps-benchguard maintains the repository's benchmark regression
 // baseline (BENCH_baseline.json) and gates CI on it.
 //
-// The baseline has two sections: go-bench microbenchmark metrics (ms/op
-// and allocs/op, parsed from `go test -bench` output) and dps-bench
+// The baseline has three sections: go-bench microbenchmark metrics
+// (ms/op and allocs/op, parsed from `go test -bench` output), dps-bench
 // experiment wall-clocks (elapsed_ms per experiment, parsed from
-// `dps-bench -json` output). CI regenerates both inputs and compares:
+// `dps-bench -json` output), and gauges — seed-deterministic protocol
+// metrics lifted from the scale records (routing_bytes_per_node,
+// forwarded_msgs, for "scale" and "scale+cover" separately), gated at
+// the strict alloc tolerance since they carry no machine noise. CI
+// regenerates the inputs and compares:
 // any tracked benchmark regressing by more than the tolerance (default
 // 15%) in ms/op or allocs/op — or any tracked experiment in elapsed_ms —
 // fails the run. Improvements never fail; new benchmarks absent from the
@@ -53,6 +57,12 @@ type Baseline struct {
 	Benchmarks map[string]BenchMetric `json:"benchmarks,omitempty"`
 	// Experiments maps dps-bench experiment names to elapsed_ms.
 	Experiments map[string]float64 `json:"experiments,omitempty"`
+	// Gauges maps "<experiment>.<metric>" to protocol-level result
+	// metrics lifted from dps-bench records (currently the scale run's
+	// routing_bytes_per_node and forwarded_msgs, with and without
+	// covering). Unlike wall-clocks these are seed-deterministic, so they
+	// gate with the strict alloc tolerance.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 func main() {
@@ -90,12 +100,13 @@ func run() int {
 		current.Benchmarks = metrics
 	}
 	if *dpsPath != "" {
-		exps, err := parseDPSBenchAll(*dpsPath)
+		exps, gauges, err := parseDPSBenchAll(*dpsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dps-benchguard:", err)
 			return 2
 		}
 		current.Experiments = exps
+		current.Gauges = gauges
 	}
 
 	if *update {
@@ -108,8 +119,8 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "dps-benchguard:", err)
 			return 1
 		}
-		fmt.Printf("dps-benchguard: wrote %s (%d benchmarks, %d experiments)\n",
-			*baseline, len(current.Benchmarks), len(current.Experiments))
+		fmt.Printf("dps-benchguard: wrote %s (%d benchmarks, %d experiments, %d gauges)\n",
+			*baseline, len(current.Benchmarks), len(current.Experiments), len(current.Gauges))
 		return 0
 	}
 
@@ -196,6 +207,18 @@ func compare(base, current Baseline, limits compareLimits) []string {
 			checkTime(name, "elapsed_ms", baseVal, current.Experiments[name])
 		}
 	}
+	gaugeNames := make([]string, 0, len(current.Gauges))
+	for name := range current.Gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		// Gauges are seed-deterministic protocol metrics (routing bytes,
+		// tree forwards), not wall-clocks: strict tolerance, no time floor.
+		if baseVal, ok := base.Gauges[name]; ok {
+			check(name, "gauge", baseVal, current.Gauges[name], limits.AllocTol)
+		}
+	}
 	return failures
 }
 
@@ -243,42 +266,67 @@ func parseBenchOutput(path string) (map[string]BenchMetric, error) {
 }
 
 // parseDPSBenchAll merges one or more comma-separated `dps-bench -json`
-// documents into a single experiment -> elapsed_ms table. Experiments
-// excluded from `-experiment all` (throughput, conform, scale) arrive as
-// separate documents; later files win on name collisions.
-func parseDPSBenchAll(paths string) (map[string]float64, error) {
+// documents into a single experiment -> elapsed_ms table plus a gauge
+// table. Experiments excluded from `-experiment all` (throughput,
+// conform, scale) arrive as separate documents; later files win on name
+// collisions.
+func parseDPSBenchAll(paths string) (map[string]float64, map[string]float64, error) {
 	merged := make(map[string]float64)
+	gauges := make(map[string]float64)
 	for _, path := range strings.Split(paths, ",") {
-		exps, err := parseDPSBench(strings.TrimSpace(path))
+		exps, gs, err := parseDPSBench(strings.TrimSpace(path))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for name, ms := range exps {
 			merged[name] = ms
 		}
+		for name, v := range gs {
+			gauges[name] = v
+		}
 	}
-	return merged, nil
+	if len(gauges) == 0 {
+		gauges = nil
+	}
+	return merged, gauges, nil
 }
 
-// parseDPSBench extracts experiment -> elapsed_ms from a
-// `dps-bench -json` document.
-func parseDPSBench(path string) (map[string]float64, error) {
+// parseDPSBench extracts experiment -> elapsed_ms plus the
+// seed-deterministic gauges from a `dps-bench -json` document. Gauges
+// come from the scale records ("scale", "scale+cover"): routing bytes
+// per node and measured-phase tree forwards, keyed
+// "<record>.<metric>".
+func parseDPSBench(path string) (map[string]float64, map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var doc struct {
 		Experiments []struct {
-			Experiment string  `json:"experiment"`
-			ElapsedMS  float64 `json:"elapsed_ms"`
+			Experiment string          `json:"experiment"`
+			ElapsedMS  float64         `json:"elapsed_ms"`
+			Result     json.RawMessage `json:"result"`
 		} `json:"experiments"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
+		return nil, nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	out := make(map[string]float64, len(doc.Experiments))
+	gauges := make(map[string]float64)
 	for _, e := range doc.Experiments {
 		out[e.Experiment] = e.ElapsedMS
+		if e.Experiment != "scale" && e.Experiment != "scale+cover" {
+			continue
+		}
+		var sr struct {
+			RoutingBytesPerNode float64 `json:"routing_bytes_per_node"`
+			ForwardedMsgs       float64 `json:"forwarded_msgs"`
+		}
+		if err := json.Unmarshal(e.Result, &sr); err != nil {
+			return nil, nil, fmt.Errorf("parsing %s record of %s: %w", e.Experiment, path, err)
+		}
+		gauges[e.Experiment+".routing_bytes_per_node"] = sr.RoutingBytesPerNode
+		gauges[e.Experiment+".forwarded_msgs"] = sr.ForwardedMsgs
 	}
-	return out, nil
+	return out, gauges, nil
 }

@@ -54,7 +54,7 @@ func TestParseDPSBenchAllMerges(t *testing.T) {
 		{"experiment":"table1","elapsed_ms":85}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	exps, err := parseDPSBenchAll(all + "," + tp)
+	exps, gauges, err := parseDPSBenchAll(all + "," + tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,8 +67,45 @@ func TestParseDPSBenchAllMerges(t *testing.T) {
 	if exps["table1"] != 85 {
 		t.Errorf("later file should win collisions: table1 = %v", exps["table1"])
 	}
-	if _, err := parseDPSBenchAll(all + ",/nonexistent.json"); err == nil {
+	if gauges != nil {
+		t.Errorf("no scale records, want nil gauges: %v", gauges)
+	}
+	if _, _, err := parseDPSBenchAll(all + ",/nonexistent.json"); err == nil {
 		t.Error("missing file in the list should error")
+	}
+}
+
+func TestParseDPSBenchScaleGauges(t *testing.T) {
+	dir := t.TempDir()
+	off := filepath.Join(dir, "scale.json")
+	on := filepath.Join(dir, "cover.json")
+	if err := os.WriteFile(off, []byte(`{"experiments":[
+		{"experiment":"scale","elapsed_ms":5000,"result":
+		 {"routing_bytes_per_node":120.5,"forwarded_msgs":4200}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(on, []byte(`{"experiments":[
+		{"experiment":"scale+cover","elapsed_ms":4000,"result":
+		 {"routing_bytes_per_node":80.25,"forwarded_msgs":3100}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exps, gauges, err := parseDPSBenchAll(off + "," + on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exps["scale"] != 5000 || exps["scale+cover"] != 4000 {
+		t.Errorf("scale elapsed lost: %v", exps)
+	}
+	want := map[string]float64{
+		"scale.routing_bytes_per_node":       120.5,
+		"scale.forwarded_msgs":               4200,
+		"scale+cover.routing_bytes_per_node": 80.25,
+		"scale+cover.forwarded_msgs":         3100,
+	}
+	for k, v := range want {
+		if gauges[k] != v {
+			t.Errorf("gauge %s = %v, want %v", k, gauges[k], v)
+		}
 	}
 }
 
@@ -76,6 +113,7 @@ func TestCompareTolerance(t *testing.T) {
 	base := Baseline{
 		Benchmarks:  map[string]BenchMetric{"B": {MSPerOp: 100, AllocsPerOp: 1000}},
 		Experiments: map[string]float64{"table1": 50},
+		Gauges:      map[string]float64{"scale.forwarded_msgs": 1000},
 	}
 	cases := []struct {
 		name     string
@@ -101,6 +139,15 @@ func TestCompareTolerance(t *testing.T) {
 		}, 0},
 		{"untracked benchmark ignored", Baseline{
 			Benchmarks: map[string]BenchMetric{"New": {MSPerOp: 9999, AllocsPerOp: 9999}},
+		}, 0},
+		{"gauge regression", Baseline{
+			Gauges: map[string]float64{"scale.forwarded_msgs": 1200},
+		}, 1},
+		{"gauge within tolerance", Baseline{
+			Gauges: map[string]float64{"scale.forwarded_msgs": 1100},
+		}, 0},
+		{"untracked gauge ignored", Baseline{
+			Gauges: map[string]float64{"scale+cover.forwarded_msgs": 9999},
 		}, 0},
 	}
 	limits := compareLimits{AllocTol: 0.15, TimeTol: 0.15, MinTimeMS: 1}

@@ -34,6 +34,13 @@
 //
 //	dps-sim -scenario crash-burst -engine all -nodes 24
 //	dps-sim -scenario all -engine tcp -tick 5ms -json
+//
+// -cover enables the subscription-covering layer
+// (core.Config.CoverRouting) on every node — in the plain simulation, the
+// chaos harness and the conformance matrix alike. Covering rides on
+// leader-diffused groups, so the flag is rejected with -comm epidemic.
+//
+//	dps-sim -scenario churn-wave -engine all -cover
 package main
 
 import (
@@ -74,8 +81,14 @@ func run() int {
 		engine      = flag.String("engine", "sim", "with -scenario: engine to replay it on: sim | live | tcp | all (non-sim engines run the conformance harness against the sim reference)")
 		tick        = flag.Duration("tick", 2*time.Millisecond, "with -scenario on live engines: wall-clock duration of one step")
 		asJSON      = flag.Bool("json", false, "with -scenario: emit the machine-readable scenario report instead of the table")
+		cover       = flag.Bool("cover", false, "enable subscription covering (core.Config.CoverRouting); requires -comm leader")
 	)
 	flag.Parse()
+
+	if *cover && *comm != "leader" {
+		fmt.Fprintf(os.Stderr, "dps-sim: -cover requires leader-based communication (-comm leader); covering relies on the leader diffusing every group event to all members, which epidemic partial views cannot guarantee\n")
+		return 2
+	}
 
 	spec, err := workloadSpec(*wl)
 	if err != nil {
@@ -86,6 +99,10 @@ func run() int {
 		Name:        *traversal + "-" + *comm,
 		Fanout:      *fanout,
 		CrossFanout: *crossFanout,
+		Cover:       *cover,
+	}
+	if *cover {
+		cfgSpec.Name += "+cover"
 	}
 	switch *traversal {
 	case "root":
@@ -133,7 +150,7 @@ func run() int {
 				conformSubs = *subs
 			}
 			return runConformance(*scenario, *engine, conformNodes, conformSubs, *eventEvery,
-				*seed, *parallel, *tick, *asJSON)
+				*seed, *parallel, *tick, *asJSON, *cover)
 		}
 		return runScenario(*scenario, cfgSpec, *nodes, *subs, *eventEvery, *seed, *parallel, *asJSON)
 	}
@@ -239,7 +256,7 @@ func runScenario(name string, cfgSpec experiments.ConfigSpec, nodes, subs, event
 // engine invariant-clean and every differential verdict passing. A zero
 // nodes or subs keeps the harness's own CI-sized default.
 func runConformance(scenario, engine string, nodes, subs, eventEvery int,
-	seed int64, parallel int, tick time.Duration, asJSON bool) int {
+	seed int64, parallel int, tick time.Duration, asJSON, cover bool) int {
 	opts := conform.DefaultOptions()
 	opts.Seed = seed
 	opts.Nodes = nodes
@@ -247,6 +264,7 @@ func runConformance(scenario, engine string, nodes, subs, eventEvery int,
 	opts.EventEvery = eventEvery
 	opts.Workers = parallel
 	opts.TickEvery = tick
+	opts.Cover = cover
 	switch engine {
 	case "all":
 		opts.Engines = conform.EngineNames()

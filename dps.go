@@ -146,6 +146,12 @@ type Options struct {
 	TickEvery time.Duration
 	// Seed makes the per-peer random streams reproducible.
 	Seed int64
+	// CoverRouting enables the subscription-covering layer
+	// (core.Config.CoverRouting): a subscription included by a filter the
+	// peer already routes rides on the wider entry instead of building a
+	// group of its own, compacting routing state without changing
+	// delivery. Requires the default LeaderBased communication.
+	CoverRouting bool
 }
 
 // Network is an in-process DPS deployment: a set of peers connected by the
@@ -198,6 +204,7 @@ func (n *Network) AddPeer() (*Peer, error) {
 	cfg.Directory = n.dir
 	cfg.Traversal = n.opts.Traversal
 	cfg.Comm = n.opts.Comm
+	cfg.CoverRouting = n.opts.CoverRouting
 	if n.opts.Fanout > 0 {
 		cfg.Fanout = n.opts.Fanout
 	}

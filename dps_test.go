@@ -260,3 +260,69 @@ func TestPredicateConstructorsExported(t *testing.T) {
 		t.Error("partial event must not match the full conjunction")
 	}
 }
+
+func TestNetworkCoverRouting(t *testing.T) {
+	// With covering on, a peer's narrower second subscription rides on
+	// its wider first one instead of forming a group — deliveries must be
+	// indistinguishable from the uncovered network's.
+	net, err := NewNetwork(Options{TickEvery: time.Millisecond, Seed: 3, CoverRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := net.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	alice, err := net.AddPeer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := net.AddPeer()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	subscribe := func(expr, tag string) {
+		sub, err := ParseSubscription(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.Subscribe(sub, func(ev Event) {
+			mu.Lock()
+			counts[tag]++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	subscribe("price>100", "wide")
+	subscribe("price>100 && price<200", "narrow") // covered by the first
+
+	match, _ := ParseEvent("price=150, sym=acme")
+	wideOnly, _ := ParseEvent("price=500, sym=acme")
+	for _, ev := range []Event{match, wideOnly} {
+		if err := bob.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts["wide"] >= 2 && counts["narrow"] >= 1
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("covered deliveries incomplete: %v (want wide=2, narrow=1)", counts)
+	}
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["wide"] != 2 || counts["narrow"] != 1 {
+		t.Fatalf("deliveries = %v, want wide=2 narrow=1", counts)
+	}
+}

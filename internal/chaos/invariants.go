@@ -556,12 +556,15 @@ func (c *Checker) checkLeadership(attr, key string, insts []instance,
 func (c *Checker) checkSubscriber(id sim.NodeID, snaps []core.MembershipSnapshot,
 	attached map[string]bool, add func(Violation)) {
 	for _, snap := range snaps {
-		if snap.Subs == 0 {
+		// Covered subscriptions (CoverRouting) ride on this membership as
+		// their only delivery path, so they count exactly like direct ones.
+		total := snap.Subs + snap.CoveredSubs
+		if total == 0 {
 			continue
 		}
 		if snap.Joining {
 			add(Violation{Invariant: InvNoOrphans, Attr: snap.AF.Attr(), Group: snap.Key, Node: id,
-				Detail: fmt.Sprintf("%d subscription(s) parked on a membership still joining", snap.Subs)})
+				Detail: fmt.Sprintf("%d subscription(s) parked on a membership still joining", total)})
 			continue
 		}
 		if !attached[snap.Key] {

@@ -194,6 +194,12 @@ type Options struct {
 	// the cycle-engine half (bit-identical traces) lives in
 	// internal/experiments.
 	Batch bool `json:"batch,omitempty"`
+	// Cover runs every node with the subscription-covering layer
+	// (core.Config.CoverRouting): included filters ride on wider routed
+	// entries instead of groups of their own. The Cover dimension checks
+	// that compaction changes routing state only — deliveries, repairs
+	// and the structural invariants must hold exactly as without it.
+	Cover bool `json:"cover,omitempty"`
 }
 
 // DefaultOptions returns a population sized so the full matrix stays
@@ -244,10 +250,11 @@ func (o Options) withDefaults() Options {
 // strict-repair extensions on — the same variant the chaos suite
 // validates on the cycle engine, so cross-engine differences isolate the
 // runtime, not the protocol.
-func nodeConfig(dir core.Directory, batch bool) core.Config {
+func nodeConfig(dir core.Directory, batch, cover bool) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Directory = dir
 	cfg.StrictRepair = true
 	cfg.BatchEvents = batch
+	cfg.CoverRouting = cover
 	return cfg
 }

@@ -23,6 +23,7 @@ type liveEngine struct {
 	rec   *recorder
 	tick  time.Duration
 	batch bool
+	cover bool
 	nodes map[sim.NodeID]*core.Node
 	peers map[sim.NodeID]*livenet.Peer
 }
@@ -37,6 +38,7 @@ func newLiveEngine(opts Options, pop *population, rec *recorder) *liveEngine {
 		rec:   rec,
 		tick:  opts.TickEvery,
 		batch: opts.Batch,
+		cover: opts.Cover,
 		nodes: make(map[sim.NodeID]*core.Node),
 		peers: make(map[sim.NodeID]*livenet.Peer),
 	}
@@ -62,7 +64,7 @@ func (e *liveEngine) AwaitStep(step int64) {
 }
 
 func (e *liveEngine) buildNode() *core.Node {
-	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.hub.Alive}, e.batch)
+	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.hub.Alive}, e.batch, e.cover)
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("conform: NewNode: %v", err)) // static config

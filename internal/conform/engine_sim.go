@@ -21,6 +21,7 @@ type simEngine struct {
 	pop   *population
 	rec   *recorder
 	batch bool
+	cover bool
 
 	lossDrops, partitionDrops int64
 }
@@ -34,6 +35,7 @@ func newSimEngine(opts Options, pop *population, rec *recorder) *simEngine {
 		pop:   pop,
 		rec:   rec,
 		batch: opts.Batch,
+		cover: opts.Cover,
 	}
 	e.Engine = sim.NewEngine(sim.Config{
 		Seed:    opts.Seed,
@@ -61,7 +63,7 @@ func (e *simEngine) AwaitStep(step int64) {
 }
 
 func (e *simEngine) buildNode() *core.Node {
-	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.Engine.Alive}, e.batch)
+	cfg := nodeConfig(aliveDirectory{Directory: e.dir, alive: e.Engine.Alive}, e.batch, e.cover)
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("conform: NewNode: %v", err)) // static config

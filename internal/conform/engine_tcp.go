@@ -30,6 +30,7 @@ type tcpEngine struct {
 	tick  time.Duration
 	seed  int64
 	batch bool
+	cover bool
 	start time.Time
 
 	dirSrv *tcpnet.DirectoryServer
@@ -65,6 +66,7 @@ func newTCPEngine(opts Options, pop *population, rec *recorder) (*tcpEngine, err
 		tick:         opts.TickEvery,
 		seed:         opts.Seed,
 		batch:        opts.Batch,
+		cover:        opts.Cover,
 		start:        time.Now(),
 		dirSrv:       srv,
 		dirCli:       tcpnet.DialDirectory(srv.Addr()),
@@ -135,7 +137,7 @@ func (e *tcpEngine) AliveCount() int {
 // every live peer (both address-book directions).
 func (e *tcpEngine) spawn(id sim.NodeID) *tcpPeer {
 	dc := tcpnet.DialDirectory(e.dirSrv.Addr())
-	cfg := nodeConfig(aliveDirectory{Directory: dc, alive: e.alive}, e.batch)
+	cfg := nodeConfig(aliveDirectory{Directory: dc, alive: e.alive}, e.batch, e.cover)
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("conform: NewNode: %v", err)) // static config

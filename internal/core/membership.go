@@ -40,6 +40,55 @@ func (n *membershipSys) subscribe(sub filter.Subscription) error {
 		n.indexSub(sub)
 		return nil
 	}
+	if n.cfg.CoverRouting {
+		// Covering stop (Def. 3): an already-routed local entry includes
+		// the new filter — record the covered→coverer edge and stop; the
+		// wider group already carries every event the new filter matches.
+		if e, ok := n.covered[af.Key()]; ok {
+			e.subs = append(e.subs, sub)
+			n.indexSub(sub)
+			return nil
+		}
+		if cm := n.coverCandidate(af); cm != nil {
+			n.addCover(af.Key(), &coverEntry{
+				af: af, coverer: cm.af.Key(), subs: []filter.Subscription{sub}})
+			n.indexSub(sub)
+			return nil
+		}
+		// Widening: the new filter strictly includes an in-flight walk of
+		// pure subscriber state — fold the narrow walk under the new
+		// filter and propagate only the wider one. Stale answers to the
+		// folded walk hit the raced-unsubscribe paths and dissolve
+		// harmlessly.
+		if jm := n.widenCandidate(af); jm != nil {
+			n.foldWalkUnder(jm, af, []filter.Subscription{sub})
+			return nil
+		}
+		// Sibling merge (CoverMerge): another walk on this attribute is
+		// still in flight and the two filters union losslessly — widen
+		// the in-flight entry to their summary filter, fold both siblings
+		// under it as covered entries, and route one entry instead of
+		// two. Only exact unions merge: a hull with a gap would pull
+		// event traffic neither subscription wants.
+		if n.cfg.CoverMerge {
+			if jm := n.mergeCandidate(af); jm != nil {
+				if merged, okM := filter.MergeAttrFiltersExact(jm.af, af); okM {
+					// The summary label must be fresh: colliding with
+					// another membership or covered entry would splice
+					// unrelated state — fall back to a plain walk instead.
+					_, groupClash := n.groups[merged.Key()]
+					_, coverClash := n.covered[merged.Key()]
+					if !groupClash && !coverClash {
+						n.addCover(af.Key(), &coverEntry{
+							af: af, coverer: merged.Key(), subs: []filter.Subscription{sub}})
+						n.indexSub(sub)
+						n.foldWalkUnder(jm, merged, nil)
+						return nil
+					}
+				}
+			}
+		}
+	}
 	m := &membership{
 		af:        af,
 		subs:      []filter.Subscription{sub},
@@ -55,6 +104,85 @@ func (n *membershipSys) subscribe(sub filter.Subscription) error {
 	return nil
 }
 
+// coverCandidate returns the first membership (group order) whose filter
+// strictly includes af and can serve as a coverer, or nil. A still-joining
+// coverer qualifies: its walk is already routing the wider filter, and a
+// covered edge riding on it follows any relabeling (retargetCoverEdges) or
+// is re-propagated if the walk dissolves (recoverOrphanedCovers). Root
+// memberships never qualify: the root's members are routing mirrors, not
+// subscribers — events are not diffused to them (dissemination.go).
+func (n *membershipSys) coverCandidate(af filter.AttrFilter) *membership {
+	for _, key := range n.groupOrder {
+		m := n.groups[key]
+		if m.isRoot || m.af.IsUniversal() {
+			continue
+		}
+		if m.af.Attr() == af.Attr() && m.af.StrictlyIncludes(af) {
+			return m
+		}
+	}
+	return nil
+}
+
+// widenCandidate returns the first in-flight walk (join order) on af's
+// attribute that af strictly includes and that is still pure subscriber
+// state, or nil — a narrower sibling that can fold under the new, wider
+// filter instead of being routed on its own.
+func (n *membershipSys) widenCandidate(af filter.AttrFilter) *membership {
+	for _, key := range n.joinOrder {
+		jm := n.joining[key]
+		if jm.isRoot || jm.af.IsUniversal() || jm.af.Attr() != af.Attr() {
+			continue
+		}
+		if af.StrictlyIncludes(jm.af) && coverFoldable(jm) {
+			return jm
+		}
+	}
+	return nil
+}
+
+// mergeCandidate returns the first in-flight walk (join order) on af's
+// attribute whose filter is incomparable with af — a sibling eligible for
+// summary merging — or nil. Walks with an inclusion relation are handled
+// by the covering stop / widening cases; walks that already grew shared
+// group state must keep their label and are left alone.
+func (n *membershipSys) mergeCandidate(af filter.AttrFilter) *membership {
+	for _, key := range n.joinOrder {
+		jm := n.joining[key]
+		if jm.isRoot || jm.af.IsUniversal() || jm.af.Attr() != af.Attr() {
+			continue
+		}
+		if coverFoldable(jm) && !jm.af.Includes(af) && !af.Includes(jm.af) {
+			return jm
+		}
+	}
+	return nil
+}
+
+// foldWalkUnder relabels the in-flight membership jm to the strictly wider
+// filter wider: jm's former filter becomes a covering entry riding on the
+// wider label, subs (the wider filter's own subscriptions, may be nil)
+// seed the relabeled membership, and the walk restarts under the new
+// label. In-flight answers for the old label find no membership and take
+// the raced-unsubscribe exits (handleCreateGroup / handleJoinAccept).
+func (n *membershipSys) foldWalkUnder(jm *membership, wider filter.AttrFilter, subs []filter.Subscription) {
+	old := jm.af
+	n.dropMembership(old.Key())
+	// Edges riding on the old label ride on the wider one: a strictly
+	// wider filter still includes every covered filter.
+	n.retargetCoverEdges(old.Key(), wider.Key())
+	n.addCover(old.Key(), &coverEntry{af: old, coverer: wider.Key(), subs: jm.subs})
+	for _, s := range subs {
+		n.indexSub(s)
+	}
+	jm.af = wider
+	jm.subs = subs
+	jm.retries = 0
+	n.addGroup(wider.Key(), jm)
+	n.addJoining(wider.Key(), jm)
+	n.startJoin(jm)
+}
+
 // unsubscribe implements Node.Unsubscribe. When the last subscription
 // behind a membership goes, the node leaves the group.
 func (n *membershipSys) unsubscribe(sub filter.Subscription) error {
@@ -65,6 +193,9 @@ func (n *membershipSys) unsubscribe(sub filter.Subscription) error {
 	af := filters[0]
 	m, ok := n.groups[af.Key()]
 	if !ok {
+		if e, okC := n.covered[af.Key()]; okC {
+			return n.unsubscribeCovered(e, sub)
+		}
 		return fmt.Errorf("core: not subscribed with filter %v", af)
 	}
 	want := sub.String()
@@ -81,9 +212,101 @@ func (n *membershipSys) unsubscribe(sub filter.Subscription) error {
 	}
 	n.unindexSub(sub)
 	if len(m.subs) == 0 {
+		// Un-cover before leaving: subscriptions this entry was covering
+		// must get routed entries of their own, or the departure would
+		// strand them (the covered filters have no group anywhere).
+		if n.hasCoverEdges(m.af.Key()) {
+			n.repropagateCovered(m.af.Key())
+		}
 		n.leaveGroup(m)
 	}
 	return nil
+}
+
+// unsubscribeCovered withdraws a subscription that rides on a coverer.
+// When the last subscription of the covered filter goes, the edge is
+// dropped; when the coverer itself no longer serves any subscription —
+// direct or covered — the node leaves the wider group too.
+func (n *membershipSys) unsubscribeCovered(e *coverEntry, sub filter.Subscription) error {
+	want := sub.String()
+	found := false
+	for i, s := range e.subs {
+		if s.String() == want {
+			e.subs = append(e.subs[:i], e.subs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: subscription %v not found", sub)
+	}
+	n.unindexSub(sub)
+	if len(e.subs) > 0 {
+		return nil
+	}
+	n.removeCover(e.af.Key())
+	if cm, ok := n.groups[e.coverer]; ok && len(cm.subs) == 0 && !n.hasCoverEdges(e.coverer) {
+		n.leaveGroup(cm)
+	}
+	return nil
+}
+
+// repropagateCovered turns every covering entry riding on covererKey back
+// into a routed entry of its own: a fresh joining membership per covered
+// filter, re-walked from scratch. The subscriptions never left the
+// delivery index, so only the routing position is rebuilt.
+func (n *membershipSys) repropagateCovered(covererKey string) {
+	keys := append([]string(nil), n.coverOrder...)
+	for _, key := range keys {
+		e, ok := n.covered[key]
+		if !ok || e.coverer != covererKey {
+			continue
+		}
+		n.removeCover(key)
+		m := &membership{
+			af:        e.af,
+			subs:      e.subs,
+			state:     stateJoining,
+			coLeaders: newView(),
+			members:   newView(n.ID()),
+			branches:  make(map[string]*Branch),
+		}
+		n.addGroup(e.af.Key(), m)
+		n.addJoining(e.af.Key(), m)
+		n.startJoin(m)
+	}
+}
+
+// recoverOrphanedCovers is the per-tick covering safety net: any covering
+// entry whose coverer membership vanished through a path that could not
+// un-cover in place (root dissolution, repair-driven drops, raced
+// merges) is re-propagated, bounding how long a stale coverer can strand
+// covered subscribers to one tick.
+func (n *membershipSys) recoverOrphanedCovers() {
+	if !n.cfg.CoverRouting || len(n.covered) == 0 {
+		return
+	}
+	for _, key := range append([]string(nil), n.coverOrder...) {
+		e, ok := n.covered[key]
+		if !ok {
+			continue
+		}
+		if _, alive := n.groups[e.coverer]; alive {
+			continue
+		}
+		n.removeCover(key)
+		m := &membership{
+			af:        e.af,
+			subs:      e.subs,
+			state:     stateJoining,
+			coLeaders: newView(),
+			members:   newView(n.ID()),
+			branches:  make(map[string]*Branch),
+		}
+		n.addGroup(e.af.Key(), m)
+		n.addJoining(e.af.Key(), m)
+		n.startJoin(m)
+	}
 }
 
 // startJoin kicks off (or retries) the findGroup walk for a joining
@@ -447,17 +670,27 @@ func (n *membershipSys) liveContact(b *Branch, exclude sim.NodeID) sim.NodeID {
 	return 0
 }
 
+// coverFoldable reports whether a walking membership is pure subscriber
+// state — no other members, no leadership, no tree edges — and can
+// therefore be folded into a covering entry without orphaning group state
+// shared with other nodes.
+func coverFoldable(m *membership) bool {
+	return m.state == stateJoining && !m.isRoot && m.members.len() <= 1 &&
+		m.coLeaders.len() == 0 && len(m.branches) == 0 && m.leader == 0
+}
+
 // acceptMember adds the subscriber to this group and answers SUBSCRIBE TO.
 func (n *membershipSys) acceptMember(m *membership, sub sim.NodeID, wanted filter.AttrFilter) {
 	if sub == n.ID() {
 		// Self-joins happen when the wanted filter has the same extension
 		// as a group we already belong to (string filters can differ
 		// syntactically): merge the pending membership into the settled
-		// one.
+		// one. Cover edges riding on the pending label follow it.
 		if wanted.Key() != m.af.Key() {
 			if jm, ok := n.groups[wanted.Key()]; ok && jm != m {
 				m.subs = append(m.subs, jm.subs...)
 				n.dropMembership(wanted.Key())
+				n.retargetCoverEdges(wanted.Key(), m.af.Key())
 			}
 		}
 		n.setActive(m)
@@ -594,6 +827,8 @@ func (n *membershipSys) handleCreateGroup(from sim.NodeID, msg createGroup) {
 
 // handleJoinAccept finalises a SUBSCRIBE TO.
 func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
+	if msg.Wanted.Key() != msg.AF.Key() {
+	}
 	m, ok := n.groups[msg.AF.Key()]
 	if ok && m.state == stateActive && n.cfg.Comm == LeaderBased &&
 		m.isLeaderHere(n.ID()) && msg.Leader != 0 && msg.Leader != n.ID() {
@@ -618,9 +853,12 @@ func (n *membershipSys) handleJoinAccept(from sim.NodeID, msg joinAccept) {
 	}
 	if !ok && !msg.Wanted.IsZero() && msg.Wanted.Key() != msg.AF.Key() {
 		// The group's canonical filter differs syntactically from the one
-		// we asked with: re-key our membership to the group's filter.
+		// we asked with: re-key our membership to the group's filter. Cover
+		// edges riding on the walking label follow it — the canonical
+		// filter has the same extension, so it still includes them.
 		if jm, okW := n.groups[msg.Wanted.Key()]; okW {
 			n.dropMembership(msg.Wanted.Key())
+			n.retargetCoverEdges(msg.Wanted.Key(), msg.AF.Key())
 			jm.af = msg.AF
 			n.addGroup(msg.AF.Key(), jm)
 			if jm.state == stateJoining {

@@ -52,6 +52,10 @@ type kernelAPI interface {
 	indexSub(sub filter.Subscription)
 	unindexSub(sub filter.Subscription)
 	liveView(ids []sim.NodeID) *view
+	addCover(key string, e *coverEntry)
+	removeCover(key string)
+	hasCoverEdges(covererKey string) bool
+	retargetCoverEdges(oldKey, newKey string)
 }
 
 var _ kernelAPI = (*state)(nil)
@@ -72,6 +76,24 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.K <= 0 || cfg.HBMin <= 0 || cfg.HBMax < cfg.HBMin {
 		return nil, errors.New("core: invalid view or heartbeat parameters")
+	}
+	if cfg.CoverRouting && cfg.Comm != LeaderBased {
+		// Epidemic group views are partial samples with probabilistic
+		// diffusion: a covered member has no deterministic delivery path,
+		// so covering is only sound under leader-based communication.
+		return nil, errors.New("core: CoverRouting requires leader-based communication")
+	}
+	if cfg.CoverMerge && !cfg.CoverRouting {
+		return nil, errors.New("core: CoverMerge requires CoverRouting")
+	}
+	if cfg.CoverRouting && !cfg.StrictRepair {
+		// Summary labels from sibling merging can be derived concurrently
+		// by several nodes, so covering multiplies duplicate-instance
+		// creations — the races (leadership deference cycles, unanswerable
+		// re-walks) that only the StrictRepair extensions resolve
+		// boundedly. Without them a merged-label walk can livelock
+		// forever, stranding the subscriptions covered under it.
+		return nil, errors.New("core: CoverRouting requires StrictRepair")
 	}
 	n := &Node{
 		st: state{
@@ -163,14 +185,87 @@ func (n *Node) Inspect() map[string]MembershipInfo {
 	return out
 }
 
-// Subscriptions returns all live subscriptions of the node.
+// Subscriptions returns all live subscriptions of the node, the directly
+// routed ones first (group order), then the covered ones (cover order).
 func (n *Node) Subscriptions() []filter.Subscription {
 	var out []filter.Subscription
 	for _, key := range n.st.groupOrder {
 		m := n.st.groups[key]
 		out = append(out, m.subs...)
 	}
+	for _, key := range n.st.coverOrder {
+		out = append(out, n.st.covered[key].subs...)
+	}
 	return out
+}
+
+// CoverEdge is one covering-table entry as seen from outside: the
+// covered filter, the canonical key of the routed membership it rides
+// on, and how many local subscriptions the entry carries.
+type CoverEdge struct {
+	Covered filter.AttrFilter
+	Coverer string
+	Subs    int
+}
+
+// CoverTable returns the covering relation keyed by covered filter key
+// (diagnostic/test helper). The soundness contract a checker can assert:
+// every Coverer names a held membership whose filter strictly includes
+// Covered.
+func (n *Node) CoverTable() map[string]CoverEdge {
+	if len(n.st.covered) == 0 {
+		return nil
+	}
+	out := make(map[string]CoverEdge, len(n.st.covered))
+	for key, e := range n.st.covered {
+		out[key] = CoverEdge{Covered: e.af, Coverer: e.coverer, Subs: len(e.subs)}
+	}
+	return out
+}
+
+// RoutingStateBytes estimates the bytes of routing state the node holds:
+// group labels, group views, tree edges (predview + succview) and the
+// covering table. It is an accounting estimator (keys at their encoded
+// length, node ids at 8 bytes), deterministic for a deterministic run —
+// the routing-table size metric of the scale experiment.
+func (n *Node) RoutingStateBytes() int64 {
+	const idBytes = 8
+	var total int64
+	for _, key := range n.st.groupOrder {
+		m := n.st.groups[key]
+		total += int64(len(key))
+		total += int64(m.members.len()+m.coLeaders.len()+1) * idBytes // views + leader
+		total += int64(len(m.parent.AF.Key())) + int64(len(m.parent.Nodes))*idBytes
+		for _, bk := range m.branchOrder {
+			total += int64(len(bk)) + int64(len(m.branches[bk].Nodes))*idBytes
+		}
+	}
+	for _, key := range n.st.coverOrder {
+		total += int64(len(key)) + int64(len(n.st.covered[key].coverer))
+	}
+	return total
+}
+
+// TreeForwards reports how many inter-group tree forwards a wire message
+// carries: 1 for a publishTree hop, the number of wrapped publishTree
+// hops for a batched frame, 0 for everything else (including intra-group
+// publishGroup diffusion). The fan-out-suppression metric counts these on
+// the engine's send hook: fewer routed groups mean fewer tree hops per
+// event, independent of how wide each group's internal diffusion is.
+func TreeForwards(msg any) int64 {
+	switch m := msg.(type) {
+	case publishTree:
+		return 1
+	case batchedEvents:
+		var hops int64
+		for _, inner := range m.Msgs {
+			if _, ok := inner.(publishTree); ok {
+				hops++
+			}
+		}
+		return hops
+	}
+	return 0
 }
 
 // InspectBranches returns every branch this node holds across its
@@ -231,6 +326,7 @@ func (n *Node) OnTick() {
 		n.rep.nextHB = now + n.rep.hbPeriod()
 	}
 	n.mem.retryJoins(now)
+	n.mem.recoverOrphanedCovers()
 	n.dis.expirePending(now)
 	n.dis.gossipHot(now)
 	n.drainSelf()

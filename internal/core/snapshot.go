@@ -42,25 +42,35 @@ type MembershipSnapshot struct {
 	Branches []Branch
 	// Subs counts the local subscriptions served by this membership.
 	Subs int
+	// CoveredSubs counts the local subscriptions riding on this
+	// membership through the covering table (CoverRouting): their
+	// filters are included in AF, so this membership is their only
+	// delivery path.
+	CoveredSubs int
 }
 
 // StructuralSnapshot returns deep copies of every membership in canonical
 // key order. The result is independent of node state and safe to retain.
 func (n *Node) StructuralSnapshot() []MembershipSnapshot {
+	coveredBy := make(map[string]int, len(n.st.covered))
+	for _, e := range n.st.covered {
+		coveredBy[e.coverer] += len(e.subs)
+	}
 	out := make([]MembershipSnapshot, 0, len(n.st.groupOrder))
 	for _, key := range n.st.groupOrder {
 		m := n.st.groups[key]
 		out = append(out, MembershipSnapshot{
-			Key:       key,
-			AF:        m.af,
-			Joining:   m.state == stateJoining,
-			IsRoot:    m.isRoot,
-			Leader:    m.leader,
-			CoLeaders: m.coLeaders.ids(),
-			Members:   m.members.ids(),
-			Parent:    cloneBranch(m.parent),
-			Branches:  m.branchList(),
-			Subs:      len(m.subs),
+			Key:         key,
+			AF:          m.af,
+			Joining:     m.state == stateJoining,
+			IsRoot:      m.isRoot,
+			Leader:      m.leader,
+			CoLeaders:   m.coLeaders.ids(),
+			Members:     m.members.ids(),
+			Parent:      cloneBranch(m.parent),
+			Branches:    m.branchList(),
+			Subs:        len(m.subs),
+			CoveredSubs: coveredBy[key],
 		})
 	}
 	return out

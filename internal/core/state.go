@@ -141,6 +141,12 @@ type state struct {
 	joining    map[string]*membership // subset of groups with state joining
 	joinOrder  []string               // sorted keys of joining (maintained)
 
+	// covered is the covering table (CoverRouting): one entry per local
+	// filter that rides on a wider routed entry instead of owning a
+	// membership. A filter key is in groups or in covered, never both.
+	covered    map[string]*coverEntry // by covered canonical filter key
+	coverOrder []string               // sorted keys of covered (maintained)
+
 	// subsByAttr indexes live subscriptions by their first attribute: a
 	// subscription can only match an event carrying that attribute, so
 	// notifyLocal probes only the lists of the event's own attributes
@@ -271,6 +277,62 @@ func (s *state) setJoining(m *membership) {
 func (s *state) dropMembership(key string) {
 	s.removeGroup(key)
 	s.removeJoining(key)
+}
+
+// --- Covering table --------------------------------------------------------
+
+// coverEntry is one covered→coverer edge of the covering table: the local
+// subscriptions under af are served by the membership routed under the
+// coverer key, whose filter includes af (Def. 3). The subscriptions stay
+// registered in the delivery index — covering changes which group carries
+// matching events to the node, never how they match locally.
+type coverEntry struct {
+	af      filter.AttrFilter
+	coverer string // canonical key of the covering membership
+	subs    []filter.Subscription
+}
+
+// addCover installs e under the covered filter's key, maintaining the
+// iteration order.
+func (s *state) addCover(key string, e *coverEntry) {
+	if s.covered == nil {
+		s.covered = make(map[string]*coverEntry)
+	}
+	if _, dup := s.covered[key]; !dup {
+		s.coverOrder = insertSortedKey(s.coverOrder, key)
+	}
+	s.covered[key] = e
+}
+
+// removeCover deletes the entry under key, maintaining the order.
+func (s *state) removeCover(key string) {
+	if _, ok := s.covered[key]; ok {
+		delete(s.covered, key)
+		s.coverOrder = removeSortedKey(s.coverOrder, key)
+	}
+}
+
+// hasCoverEdges reports whether any covering entry rides on the
+// membership routed under covererKey.
+func (s *state) hasCoverEdges(covererKey string) bool {
+	for _, e := range s.covered {
+		if e.coverer == covererKey {
+			return true
+		}
+	}
+	return false
+}
+
+// retargetCoverEdges follows a membership re-key (same-extension re-label,
+// covering accept, self-join merge): edges riding on oldKey now ride on
+// newKey. Every re-key widens or relabels the coverer's extension, so
+// inclusion over the covered filters is preserved.
+func (s *state) retargetCoverEdges(oldKey, newKey string) {
+	for _, e := range s.covered {
+		if e.coverer == oldKey {
+			e.coverer = newKey
+		}
+	}
 }
 
 // --- Delivery index --------------------------------------------------------

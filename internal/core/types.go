@@ -171,6 +171,37 @@ type Config struct {
 	// and the live deployments switch it on.
 	BatchEvents bool
 
+	// CoverRouting turns on the subscription-covering layer: before a
+	// subscription propagates into the overlay, the node checks its own
+	// routing state — a filter already routed (or walking) that includes
+	// the new one (Def. 3 inclusion) stops the propagation and records a
+	// covered→coverer edge in the node's covering table instead of
+	// building a group of its own; a new filter that includes an
+	// in-flight walk widens that walk and folds the narrow filter under
+	// it. Unsubscribing a coverer re-propagates
+	// every subscription it was covering. Covering is strictly node-local
+	// — the walk protocol and the group shapes other nodes see are
+	// untouched — so delivery is exactly the uncovered protocol's, with
+	// fewer groups. Requires LeaderBased communication: a covered
+	// subscription's deliveries ride on the coverer group's leader
+	// diffusion, which epidemic partial views cannot guarantee. Off by
+	// default so the pinned paper experiments (Table 1 protocol, Fig. 3a)
+	// replay byte-identical traces.
+	CoverRouting bool
+
+	// CoverMerge additionally merges two incomparable sibling walks on
+	// one attribute into their summary filter (the lossless unions of
+	// filter.MergeAttrFiltersExact), widening one routed entry instead of
+	// adding one. Unlike the covering stop and the widening fold — which
+	// only ever reuse filters real subscriptions route anyway — a merged
+	// summary is a synthetic label: under workloads where many nodes
+	// share the same narrow filters, those groups keep existing through
+	// the other nodes and the summary becomes an extra tree stop, so
+	// merging trades routing bytes (always down) against tree forwards
+	// (up when filters are popular, down when they are rare). Off by
+	// default; requires CoverRouting.
+	CoverMerge bool
+
 	// Directory is the attribute→tree bootstrap service shared by the
 	// deployment (see Directory). Required.
 	Directory Directory

@@ -173,6 +173,9 @@ func RunChaos(opts ChaosOptions) (*ChaosResult, error) {
 	if opts.Nodes <= 0 || opts.SubsPerNode <= 0 {
 		return nil, fmt.Errorf("experiments: chaos needs a positive population")
 	}
+	if opts.Config.Cover && opts.Config.Comm != core.LeaderBased {
+		return nil, fmt.Errorf("experiments: covering (CoverRouting) requires leader-based communication; config %q is epidemic", opts.Config.Name)
+	}
 	if opts.CheckEvery <= 0 {
 		opts.CheckEvery = 10
 	}

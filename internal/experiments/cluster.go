@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/filter"
@@ -29,6 +30,10 @@ type ConfigSpec struct {
 	Comm        core.CommMode
 	Fanout      int // epidemic k; 0 keeps the default
 	CrossFanout int // epidemic k'; 0 keeps the default
+	// Cover enables subscription covering (leader mode only). Omitted
+	// from JSON when off so the pinned paper experiments' -json
+	// documents stay byte-stable.
+	Cover bool `json:",omitempty"`
 }
 
 // apply mutates a node config according to the spec.
@@ -40,6 +45,13 @@ func (s ConfigSpec) apply(cfg *core.Config) {
 	}
 	if s.CrossFanout > 0 {
 		cfg.CrossFanout = s.CrossFanout
+	}
+	cfg.CoverRouting = s.Cover
+	if s.Cover {
+		// Covering's merged labels race concurrent same-label creations;
+		// only the StrictRepair extensions resolve those boundedly
+		// (core.NewNode rejects the combination otherwise).
+		cfg.StrictRepair = true
 	}
 }
 
@@ -112,6 +124,12 @@ type Cluster struct {
 	// the ConfigSpec applies (ablation studies).
 	MutateConfig func(*core.Config)
 
+	// treeForwards counts inter-group tree hops (core.TreeForwards) across
+	// every send — the fan-out-suppression metric. Atomic: the send hook
+	// runs on engine workers in parallel mode. The total is a sum, so it
+	// stays seed-deterministic at any worker count.
+	treeForwards int64
+
 	// subsByNode remembers each node's durable subscriptions, so a chaos
 	// restart can bring the identity back re-issuing them and a graceful
 	// leave can withdraw them.
@@ -144,6 +162,9 @@ func NewCluster(spec ConfigSpec, seed int64) *Cluster {
 		Seed: seed,
 		OnSend: func(from, to sim.NodeID, msg any) {
 			c.Registry.Sent(int64(from), metrics.KindOf(msg))
+			if hops := core.TreeForwards(msg); hops > 0 {
+				atomic.AddInt64(&c.treeForwards, hops)
+			}
 		},
 		OnDeliver: func(from, to sim.NodeID, msg any) {
 			c.Registry.Received(int64(to), metrics.KindOf(msg))
@@ -359,6 +380,26 @@ func (c *Cluster) KillRandomAlive(draw int64) sim.NodeID {
 		c.Engine.Kill(id)
 	}
 	return id
+}
+
+// TreeForwards returns the cumulative inter-group tree-hop count (safe
+// to read between engine steps; see core.TreeForwards).
+func (c *Cluster) TreeForwards() int64 { return atomic.LoadInt64(&c.treeForwards) }
+
+// RoutingBytesPerNode averages core.Node.RoutingStateBytes over the live
+// population — the routing-table size metric of the scale experiment.
+func (c *Cluster) RoutingBytesPerNode() float64 {
+	ids := c.Engine.AliveIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	var total int64
+	for _, id := range ids {
+		if n := c.Nodes[id]; n != nil {
+			total += n.RoutingStateBytes()
+		}
+	}
+	return float64(total) / float64(len(ids))
 }
 
 // AliveInt64s returns live node ids as int64 for metrics helpers.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dps-overlay/dps/internal/core"
 	"github.com/dps-overlay/dps/internal/workload"
 )
 
@@ -36,6 +37,10 @@ type ScaleOptions struct {
 	// parallel on W workers, negative one worker per CPU. Metrics are
 	// bit-identical across worker counts for a given seed.
 	Parallelism int
+	// CoverRouting runs every node with the subscription-covering layer
+	// (core.Config.CoverRouting). The routing-state and tree-forward
+	// columns measured with it on vs off quantify the compaction.
+	CoverRouting bool
 }
 
 // DefaultScaleOptions returns the 50k-node preset. The event rate is
@@ -44,9 +49,12 @@ type ScaleOptions struct {
 // measures groups still converging between publications.
 func DefaultScaleOptions() ScaleOptions {
 	return ScaleOptions{
-		Seed:        1,
-		Nodes:       50_000,
-		SubsPerNode: 1,
+		Seed:  1,
+		Nodes: 50_000,
+		// Two subscriptions per node: the covering layer is node-local, so
+		// the preset must give each node more than one filter for the
+		// routing-state comparison (cover on vs off) to exercise anything.
+		SubsPerNode: 2,
 		Events:      100,
 		EventEvery:  10,
 		Parallelism: -1, // all cores: this preset exists to be parallel
@@ -67,6 +75,15 @@ type ScaleResult struct {
 	// ContactedPct is the mean percentage of the population an event
 	// touches — Table 1's headline metric at 5–10× the paper's scale.
 	ContactedPct float64
+
+	// RoutingBytesPerNode is the mean routing-state footprint (group
+	// labels, views, tree edges, covering table) per live node after the
+	// build phase settles — the compaction metric CoverRouting targets.
+	RoutingBytesPerNode float64 `json:"routing_bytes_per_node"`
+	// ForwardedMsgs counts inter-group tree forwards (core.TreeForwards)
+	// during the measured phase — the fan-out-suppression metric: fewer
+	// routed groups mean fewer tree hops per published event.
+	ForwardedMsgs int64 `json:"forwarded_msgs"`
 
 	BuildSteps, RunSteps int
 	BuildWall, RunWall   time.Duration
@@ -95,6 +112,15 @@ func RunScale(opts ScaleOptions) (*ScaleResult, error) {
 	}
 	// The paper's default variant: root traversal, leader communication.
 	c := NewClusterParallel(PaperConfigs()[0], opts.Seed, opts.Parallelism)
+	// Both variants run the StrictRepair extensions — covering requires
+	// them (core.NewNode rejects the combination), and the on/off columns
+	// are only comparable when the two runs differ in nothing but the
+	// covering layer itself.
+	cover := opts.CoverRouting
+	c.MutateConfig = func(cfg *core.Config) {
+		cfg.StrictRepair = true
+		cfg.CoverRouting = cover
+	}
 	gen := workload.MustGenerator(workload.Workload2(), opts.Seed)
 
 	res := &ScaleResult{Opts: opts, Workers: c.Engine.Workers()}
@@ -112,10 +138,12 @@ func RunScale(opts ScaleOptions) (*ScaleResult, error) {
 	res.BuildSteps = int(c.Engine.Now() - stepsBefore)
 	res.Trees = c.Oracle.Trees()
 	res.Groups = c.Oracle.Groups()
+	res.RoutingBytesPerNode = c.RoutingBytesPerNode()
 
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5ca1e))
 	start = time.Now()
 	stepsBefore = c.Engine.Now()
+	forwardsBefore := c.TreeForwards()
 	for e := 0; e < opts.Events; e++ {
 		c.PublishTracked(gen.Event(), rng.Int63())
 		c.Engine.Run(opts.EventEvery)
@@ -123,6 +151,7 @@ func RunScale(opts ScaleOptions) (*ScaleResult, error) {
 	c.Engine.Run(100) // drain in-flight deliveries
 	res.RunWall = time.Since(start)
 	res.RunSteps = int(c.Engine.Now() - stepsBefore)
+	res.ForwardedMsgs = c.TreeForwards() - forwardsBefore
 	if secs := res.RunWall.Seconds(); secs > 0 {
 		res.StepsPerSec = float64(res.RunSteps) / secs
 	}
@@ -139,11 +168,17 @@ func RunScale(opts ScaleOptions) (*ScaleResult, error) {
 // Render prints the run summary.
 func (r *ScaleResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Scale — full protocol at %d nodes (%d workers, seed %d)\n",
-		r.Opts.Nodes, r.Workers, r.Opts.Seed)
+	cover := ""
+	if r.Opts.CoverRouting {
+		cover = ", covering on"
+	}
+	fmt.Fprintf(&b, "Scale — full protocol at %d nodes (%d workers, seed %d%s)\n",
+		r.Opts.Nodes, r.Workers, r.Opts.Seed, cover)
 	fmt.Fprintf(&b, "forest            %d trees, %d groups\n", r.Trees, r.Groups)
 	fmt.Fprintf(&b, "delivery ratio    %.4f\n", r.DeliveryRatio)
 	fmt.Fprintf(&b, "contacted         %.2f%% of population per event\n", r.ContactedPct)
+	fmt.Fprintf(&b, "routing state     %.1f bytes/node\n", r.RoutingBytesPerNode)
+	fmt.Fprintf(&b, "tree forwards     %d in the measured phase\n", r.ForwardedMsgs)
 	fmt.Fprintf(&b, "build             %d steps in %v\n", r.BuildSteps, r.BuildWall.Round(time.Millisecond))
 	fmt.Fprintf(&b, "measured          %d steps in %v (%.1f steps/s)\n",
 		r.RunSteps, r.RunWall.Round(time.Millisecond), r.StepsPerSec)

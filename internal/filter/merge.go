@@ -1,0 +1,142 @@
+package filter
+
+import "math"
+
+// Subscription covering widens routed entries: instead of routing two
+// sibling filters, the overlay can route one summary filter that includes
+// both (the perfect-merging rule of the covering literature — S-ToPSS
+// frames semantic widening on top of exactly this machinery). The merge
+// must be *sound* (the summary includes both inputs, so Def. 4 pruning
+// never drops a matching event) and should be *tight* (as little wider
+// than the union as the predicate language can express) so the false
+// positives covering introduces stay bounded.
+
+// intBounds extracts the exclusive bounds of a canonical integer filter:
+// after canonicalisation an int filter is one of {v}, (lb,∞), (-∞,ub) or
+// (lb,ub), so bounds are a complete description. ok is false when the
+// filter holds a non-integer or non-interval predicate.
+func intBounds(f AttrFilter) (lb, ub int64, hasLB, hasUB, ok bool) {
+	for _, p := range f.preds {
+		if p.Type != TypeInt {
+			return 0, 0, false, false, false
+		}
+		switch p.Op {
+		case OpGT:
+			lb, hasLB = p.Int, true
+		case OpLT:
+			ub, hasUB = p.Int, true
+		case OpEQ:
+			// {v} = (v-1, v+1) exclusive; the domain edges cannot widen.
+			if p.Int == math.MinInt64 || p.Int == math.MaxInt64 {
+				return 0, 0, false, false, false
+			}
+			lb, hasLB = p.Int-1, true
+			ub, hasUB = p.Int+1, true
+		default:
+			return 0, 0, false, false, false
+		}
+	}
+	return lb, ub, hasLB, hasUB, true
+}
+
+// MergeAttrFilters returns the least filter of the predicate language that
+// includes both inputs, for use as a covering summary. The second result
+// is false when no useful summary exists: mismatched attributes, string
+// predicates without an inclusion relation, or a union only ⊤ can cover
+// (⊤ is the tree root's label, so widening to it would re-route
+// everything through the root instead of compacting).
+func MergeAttrFilters(a, b AttrFilter) (AttrFilter, bool) {
+	if a.IsZero() || b.IsZero() || a.attr != b.attr || a.IsEmpty() || b.IsEmpty() {
+		return AttrFilter{}, false
+	}
+	// Inclusion one way or the other: the wider input is already the
+	// least common summary.
+	if a.Includes(b) {
+		return a, true
+	}
+	if b.Includes(a) {
+		return b, true
+	}
+	// Incomparable: only integer intervals merge losslessly into an
+	// interval. String predicate unions (prefix ∪ suffix, two prefixes)
+	// have no least upper bound below ⊤ in this language.
+	alb, aub, aHasLB, aHasUB, okA := intBounds(a)
+	if !okA {
+		return AttrFilter{}, false
+	}
+	blb, bub, bHasLB, bHasUB, okB := intBounds(b)
+	if !okB {
+		return AttrFilter{}, false
+	}
+	// The union's hull keeps a bound only when both sides bound that
+	// side, and then takes the weaker of the two.
+	var preds []Predicate
+	if aHasLB && bHasLB {
+		lb := alb
+		if blb < lb {
+			lb = blb
+		}
+		preds = append(preds, Gt(a.attr, lb))
+	}
+	if aHasUB && bHasUB {
+		ub := aub
+		if bub > ub {
+			ub = bub
+		}
+		preds = append(preds, Lt(a.attr, ub))
+	}
+	if len(preds) == 0 {
+		return AttrFilter{}, false // hull is ⊤: not a usable summary
+	}
+	merged, err := NewAttrFilter(a.attr, preds)
+	if err != nil || merged.IsUniversal() || merged.IsEmpty() {
+		return AttrFilter{}, false
+	}
+	// Soundness is by construction, but the canonicaliser is the
+	// authority on predicate semantics: never hand out a summary it
+	// does not agree includes both inputs.
+	if !merged.Includes(a) || !merged.Includes(b) {
+		return AttrFilter{}, false
+	}
+	return merged, true
+}
+
+// MergeAttrFiltersExact restricts MergeAttrFilters to lossless unions: it
+// returns a summary only when the merged filter matches exactly the union
+// of the two inputs — an inclusion pair, or overlapping/adjacent integer
+// intervals — never a hull with a gap of values neither input matches. A
+// gapless summary attracts no event traffic the two inputs would not have
+// attracted anyway, so routing it in their place is a pure reduction.
+func MergeAttrFiltersExact(a, b AttrFilter) (AttrFilter, bool) {
+	merged, ok := MergeAttrFilters(a, b)
+	if !ok {
+		return AttrFilter{}, false
+	}
+	if a.Includes(b) || b.Includes(a) {
+		return merged, true
+	}
+	alb, aub, aHasLB, aHasUB, _ := intBounds(a)
+	blb, bub, bHasLB, bHasUB, _ := intBounds(b)
+	lo := int64(math.MinInt64) // the later start among the two intervals
+	if aHasLB {
+		lo = alb
+	}
+	if bHasLB && blb > lo {
+		lo = blb
+	}
+	hi := int64(math.MaxInt64) // the earlier end
+	if aHasUB {
+		hi = aub
+	}
+	if bHasUB && bub < hi {
+		hi = bub
+	}
+	// Exclusive integer bounds: (l1,u1) ∪ (l2,u2) is gapless iff the
+	// later-starting interval begins before the earlier one ends, i.e.
+	// max(l) < min(u) — touching intervals (l2 = u1 - 1) pass this test,
+	// a one-value gap (l2 = u1) fails it.
+	if lo >= hi {
+		return AttrFilter{}, false
+	}
+	return merged, true
+}

@@ -1,0 +1,207 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergeInclusionShortCircuit(t *testing.T) {
+	wide := MustAttrFilter("x", Gt("x", 10))
+	narrow := MustAttrFilter("x", Gt("x", 10), Lt("x", 50))
+	for _, pair := range [][2]AttrFilter{{wide, narrow}, {narrow, wide}} {
+		m, ok := MergeAttrFilters(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("merge(%v, %v) failed", pair[0], pair[1])
+		}
+		if m.Key() != wide.Key() {
+			t.Fatalf("merge(%v, %v) = %v, want the wider input %v", pair[0], pair[1], m, wide)
+		}
+	}
+}
+
+func TestMergeIntervalHull(t *testing.T) {
+	a := MustAttrFilter("x", Gt("x", 10), Lt("x", 50))
+	b := MustAttrFilter("x", Gt("x", 40), Lt("x", 90))
+	m, ok := MergeAttrFilters(a, b)
+	if !ok {
+		t.Fatalf("merge(%v, %v) failed", a, b)
+	}
+	want := MustAttrFilter("x", Gt("x", 10), Lt("x", 90))
+	if m.Key() != want.Key() {
+		t.Fatalf("merge = %v, want %v", m, want)
+	}
+}
+
+func TestMergeHalfBoundedKeepsCommonSide(t *testing.T) {
+	// Both lower-bounded: the hull keeps the weaker lower bound and no
+	// upper bound.
+	a := MustAttrFilter("x", Gt("x", 100))
+	b := MustAttrFilter("x", Gt("x", 20), Lt("x", 60))
+	m, ok := MergeAttrFilters(a, b)
+	if !ok {
+		t.Fatalf("merge(%v, %v) failed", a, b)
+	}
+	want := MustAttrFilter("x", Gt("x", 20))
+	if m.Key() != want.Key() {
+		t.Fatalf("merge = %v, want %v", m, want)
+	}
+}
+
+func TestMergeRefusesUniversalHull(t *testing.T) {
+	// lb-only ∪ ub-only covers every value: only ⊤ includes the union,
+	// and ⊤ is the root label — not a summary.
+	a := MustAttrFilter("x", Gt("x", 100))
+	b := MustAttrFilter("x", Lt("x", 50))
+	if m, ok := MergeAttrFilters(a, b); ok {
+		t.Fatalf("merge(%v, %v) = %v, want refusal", a, b, m)
+	}
+}
+
+func TestMergeRefusesIncomparableStrings(t *testing.T) {
+	a := MustAttrFilter("sym", Prefix("sym", "ab"))
+	b := MustAttrFilter("sym", Prefix("sym", "cd"))
+	if m, ok := MergeAttrFilters(a, b); ok {
+		t.Fatalf("merge(%v, %v) = %v, want refusal", a, b, m)
+	}
+	// Included string filters still merge to the wider one.
+	wide := MustAttrFilter("sym", Prefix("sym", "ab"))
+	narrow := MustAttrFilter("sym", Prefix("sym", "abc"))
+	m, ok := MergeAttrFilters(wide, narrow)
+	if !ok || m.Key() != wide.Key() {
+		t.Fatalf("merge(%v, %v) = %v, %v; want %v", wide, narrow, m, ok, wide)
+	}
+}
+
+func TestMergeMismatchedAttrs(t *testing.T) {
+	a := MustAttrFilter("x", Gt("x", 1))
+	b := MustAttrFilter("y", Gt("y", 1))
+	if _, ok := MergeAttrFilters(a, b); ok {
+		t.Fatal("merge across attributes must refuse")
+	}
+}
+
+// TestMergeSoundnessRandom is the property the covering layer leans on:
+// whenever MergeAttrFilters succeeds, the summary includes both inputs —
+// checked here both via Includes (Def. 3) and extensionally by sampling
+// values.
+func TestMergeSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	randFilter := func() AttrFilter {
+		var preds []Predicate
+		switch rng.Intn(4) {
+		case 0:
+			preds = []Predicate{EqInt("x", int64(rng.Intn(1000)))}
+		case 1:
+			preds = []Predicate{Gt("x", int64(rng.Intn(1000)))}
+		case 2:
+			preds = []Predicate{Lt("x", int64(rng.Intn(1000)))}
+		default:
+			lo := int64(rng.Intn(900))
+			preds = []Predicate{Gt("x", lo), Lt("x", lo+2+int64(rng.Intn(200)))}
+		}
+		f, err := NewAttrFilter("x", preds)
+		if err != nil {
+			t.Fatalf("building random filter: %v", err)
+		}
+		return f
+	}
+	merges := 0
+	for i := 0; i < 2000; i++ {
+		a, b := randFilter(), randFilter()
+		m, ok := MergeAttrFilters(a, b)
+		if !ok {
+			continue
+		}
+		merges++
+		if !m.Includes(a) || !m.Includes(b) {
+			t.Fatalf("summary %v does not include both %v and %v", m, a, b)
+		}
+		for v := int64(-5); v < 1205; v++ {
+			if (a.Matches(IntValue(v)) || b.Matches(IntValue(v))) && !m.Matches(IntValue(v)) {
+				t.Fatalf("value %d matches an input but not the summary %v of (%v, %v)", v, m, a, b)
+			}
+		}
+	}
+	if merges == 0 {
+		t.Fatal("random pairs never merged; generator or merge is broken")
+	}
+}
+
+func TestMergeExactAcceptsOverlapAndAdjacency(t *testing.T) {
+	cases := [][2]AttrFilter{
+		// Overlapping intervals.
+		{MustAttrFilter("x", Gt("x", 10), Lt("x", 50)),
+			MustAttrFilter("x", Gt("x", 40), Lt("x", 90))},
+		// Touching intervals: (10,50) ∪ (49,90) is gapless on integers.
+		{MustAttrFilter("x", Gt("x", 10), Lt("x", 50)),
+			MustAttrFilter("x", Gt("x", 49), Lt("x", 90))},
+		// Inclusion pair.
+		{MustAttrFilter("x", Gt("x", 10)),
+			MustAttrFilter("x", Gt("x", 10), Lt("x", 50))},
+	}
+	for _, pair := range cases {
+		m, ok := MergeAttrFiltersExact(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("exact merge(%v, %v) refused a gapless union", pair[0], pair[1])
+		}
+		// Exactness: every summary match lies in the union.
+		for v := int64(-5); v < 200; v++ {
+			if m.Matches(IntValue(v)) && !pair[0].Matches(IntValue(v)) && !pair[1].Matches(IntValue(v)) {
+				t.Fatalf("summary %v of (%v, %v) matches %d, which neither input matches",
+					m, pair[0], pair[1], v)
+			}
+		}
+	}
+}
+
+func TestMergeExactRefusesGap(t *testing.T) {
+	// (10,50) ∪ (50,90) leaves the single value 50 uncovered; the hull
+	// would attract it, so the exact merge must refuse.
+	a := MustAttrFilter("x", Gt("x", 10), Lt("x", 50))
+	b := MustAttrFilter("x", Gt("x", 50), Lt("x", 90))
+	if m, ok := MergeAttrFiltersExact(a, b); ok {
+		t.Fatalf("exact merge(%v, %v) = %v, want refusal over the one-value gap", a, b, m)
+	}
+	// The plain hull merge accepts the same pair — the exact variant is
+	// the strictly smaller relation.
+	if _, ok := MergeAttrFilters(a, b); !ok {
+		t.Fatalf("hull merge(%v, %v) refused; the exact/hull contrast is vacuous", a, b)
+	}
+	// Wider gap.
+	c := MustAttrFilter("x", Gt("x", 200), Lt("x", 300))
+	if m, ok := MergeAttrFiltersExact(a, c); ok {
+		t.Fatalf("exact merge(%v, %v) = %v, want refusal over the gap", a, c, m)
+	}
+}
+
+// TestMergeExactnessRandom: whenever MergeAttrFiltersExact succeeds, the
+// summary's extension equals the union of the inputs' extensions.
+func TestMergeExactnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randInterval := func() AttrFilter {
+		lo := int64(rng.Intn(900))
+		f, err := NewAttrFilter("x", []Predicate{Gt("x", lo), Lt("x", lo+2+int64(rng.Intn(200)))})
+		if err != nil {
+			t.Fatalf("building random filter: %v", err)
+		}
+		return f
+	}
+	merges := 0
+	for i := 0; i < 2000; i++ {
+		a, b := randInterval(), randInterval()
+		m, ok := MergeAttrFiltersExact(a, b)
+		if !ok {
+			continue
+		}
+		merges++
+		for v := int64(-5); v < 1205; v++ {
+			in := a.Matches(IntValue(v)) || b.Matches(IntValue(v))
+			if in != m.Matches(IntValue(v)) {
+				t.Fatalf("exact summary %v of (%v, %v) disagrees with the union at %d", m, a, b, v)
+			}
+		}
+	}
+	if merges == 0 {
+		t.Fatal("random pairs never merged exactly; generator or merge is broken")
+	}
+}

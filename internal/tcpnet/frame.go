@@ -19,6 +19,7 @@ package tcpnet
 // bodies carry dirWireVersion.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -89,8 +90,15 @@ type frameReader struct {
 	buf []byte
 }
 
+// frameReaderBuf sizes the read buffer between the connection and the
+// frame parser. Reading the prefix and body straight off the socket costs
+// two read syscalls per frame — ruinous for the small frames the protocol
+// mostly sends; buffering coalesces every frame already in the kernel's
+// receive queue into one read.
+const frameReaderBuf = 64 << 10
+
 func newFrameReader(conn net.Conn) *frameReader {
-	return &frameReader{src: conn}
+	return &frameReader{src: bufio.NewReaderSize(conn, frameReaderBuf)}
 }
 
 // next returns the body of the next frame. The returned slice is only
